@@ -1,0 +1,335 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (regenerating the artifact end to end and reporting its
+// headline metrics), plus micro-benchmarks of the hot paths (PvP-curve
+// construction, Algorithm 1 decisions, simulator stepping, forecasting).
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// The per-figure benchmarks report custom metrics (slack reductions, cost
+// ratios, throughput shares) so the paper-vs-measured comparison is
+// visible straight from the bench output; EXPERIMENTS.md records one run.
+package caasper_test
+
+import (
+	"testing"
+
+	"caasper"
+	"caasper/internal/experiments"
+)
+
+// ---------------------------------------------------------------------------
+// Per-figure/table benchmarks
+
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure3(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.VPASlackReduction*100, "vpa_slack_red_%")
+		b.ReportMetric(res.CaaSPERSlackReduction*100, "caasper_slack_red_%")
+		b.ReportMetric(res.OpenShiftThroughput*100, "openshift_thrpt_%")
+		b.ReportMetric(res.CaaSPERThroughput*100, "caasper_thrpt_%")
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure4(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.TargetCores), "target_cores")
+		b.ReportMetric(res.RawSF, "raw_sf")
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure5(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.ThrottledSlope, "throttled_slope")
+		b.ReportMetric(res.HealthySlope, "healthy_slope")
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Figure6()
+		b.ReportMetric(res.Factors[len(res.Factors)-1], "sf_at_max_slope")
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure7(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.WalkDownDelta), "walkdown_delta")
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure9Table1(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.CostRatio*100, "cost_vs_ctrl_%")
+		b.ReportMetric(res.SlackReduction*100, "slack_red_%")
+		b.ReportMetric(float64(res.Resizes), "resizes")
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure10Table1(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.ReactiveCostRatio*100, "reactive_cost_%")
+		b.ReportMetric(res.ProactiveCostRatio*100, "proactive_cost_%")
+		b.ReportMetric(res.ReactiveSlackReduction*100, "reactive_slack_red_%")
+		b.ReportMetric(res.ProactiveSlackReduction*100, "proactive_slack_red_%")
+	}
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure11Table2(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.PerfCostRatio*100, "perf_cost_%")
+		b.ReportMetric(res.SavingsCostRatio*100, "savings_cost_%")
+		b.ReportMetric(res.PerfThroughputRatio*100, "perf_thrpt_%")
+		b.ReportMetric(res.SavingsThroughputRatio*100, "savings_thrpt_%")
+	}
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure12(1, 60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Frontier)), "pareto_points")
+		b.ReportMetric(res.ProactiveMeanK, "proactive_mean_K")
+		b.ReportMetric(res.ReactiveMeanK, "reactive_mean_K")
+	}
+}
+
+func BenchmarkFigure13(b *testing.B) {
+	fig12, err := experiments.Figure12(1, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure13(fig12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Chosen[0].K-res.Chosen[len(res.Chosen)-1].K, "K_range")
+	}
+}
+
+func BenchmarkFigure14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure14Table3(1, 25)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var maxThrottled float64
+		for _, row := range res.Rows {
+			if row.ThrottledPct > maxThrottled {
+				maxThrottled = row.ThrottledPct
+			}
+		}
+		b.ReportMetric(maxThrottled*100, "max_throttled_%")
+		b.ReportMetric(float64(len(res.Rows)), "traces")
+	}
+}
+
+func BenchmarkSimCorrectness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.SimulatorCorrectness(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.TTest.P, "ttest_p")
+	}
+}
+
+func BenchmarkMotivationHorizontal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.MotivationHorizontal(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.HorizontalThroughputGain, "horizontal_gain_x")
+		b.ReportMetric(res.VerticalThroughputGain, "vertical_gain_x")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benchmarks (design-choice studies from DESIGN.md / paper §8)
+
+func BenchmarkAblationInPlace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationInPlace(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rolling.DB.InterruptedTxns, "rolling_interrupted")
+		b.ReportMetric(res.InPlace.DB.InterruptedTxns, "inplace_interrupted")
+	}
+}
+
+func BenchmarkAblationHorizon(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationHorizon(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+		b.ReportMetric(first.SumInsufficient, "reactive_C")
+		b.ReportMetric(last.SumInsufficient, "h120_C")
+	}
+}
+
+func BenchmarkAblationPrefilter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationPrefilter(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Without.SumSlack, "nofilter_K")
+		b.ReportMetric(res.With.SumSlack, "prefilter_K")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks of the hot paths
+
+func BenchmarkBuildCurve(b *testing.B) {
+	usage := make([]float64, 40)
+	for i := range usage {
+		usage[i] = float64(i%13) + 0.5
+	}
+	r := caasper.SKURange{MinCores: 1, MaxCores: 32}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := caasper.BuildCurve(usage, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecide(b *testing.B) {
+	cfg := caasper.DefaultConfig(32)
+	usage := make([]float64, 40)
+	for i := range usage {
+		usage[i] = float64(i%13) + 0.5
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := caasper.Decide(cfg, 8, usage); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateWorkday(b *testing.B) {
+	tr := caasper.Workloads["workday12h"](1)
+	opts := caasper.DefaultSimOptions(6, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := caasper.NewReactive(caasper.DefaultConfig(8), 40)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := caasper.Simulate(tr, rec, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.Len()*b.N)/b.Elapsed().Seconds(), "sim_minutes/s")
+}
+
+func BenchmarkSeasonalNaiveForecast(b *testing.B) {
+	hist := make([]float64, 2*1440)
+	for i := range hist {
+		hist[i] = float64(i % 1440)
+	}
+	f := caasper.NewSeasonalNaive(1440)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Forecast(hist, 60); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHoltWintersForecast(b *testing.B) {
+	hist := make([]float64, 6*288)
+	for i := range hist {
+		hist[i] = 3 + float64(i%288)/100
+	}
+	f := caasper.NewHoltWinters(0.3, 0.1, 0.2, 288)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Forecast(hist, 60); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunLiveHour(b *testing.B) {
+	demand := caasper.NewTrace("bench", caasper.Workloads["workday12h"](1).Interval,
+		caasper.Workloads["workday12h"](1).Values[:60])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched, err := caasper.ScheduleForCores("bench-live", caasper.MixedOLTP(),
+			caasper.TracePattern(demand), demand.Duration())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec, err := caasper.NewReactive(caasper.DefaultConfig(6), 40)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := caasper.RunLive(sched, rec, caasper.DatabaseA(4, 6)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAlibabaTraceSynthesis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := caasper.AlibabaTrace("c_29247", uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandomSearch(b *testing.B) {
+	tr := caasper.Workloads["workday12h"](1)
+	opts := caasper.DefaultSimOptions(6, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := caasper.RandomSearch(tr, caasper.TuningOptions{
+			Samples: 10, Seed: uint64(i + 1), Sim: &opts, SeasonMinutes: 720,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

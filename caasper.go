@@ -1,0 +1,349 @@
+// Package caasper is the public API of this repository: a from-scratch
+// reproduction of CaaSPER, the hybrid reactive/proactive vertical
+// autoscaling algorithm for Container-as-a-Service databases described in
+// "Vertically Autoscaling Monolithic Applications with CaaSPER" (SIGMOD
+// 2024).
+//
+// The package re-exports the stable surface of the internal packages:
+//
+//   - the decision algorithm (Algorithm 1) behind NewReactive and
+//     NewProactive, both implementing the pluggable Recommender
+//     interface of the autoscaling loop;
+//   - the price-vs-performance curve machinery (BuildCurve, SKURange)
+//     that the algorithm's slope detection is built on;
+//   - the forecasters of the proactive mode (SeasonalNaive, HoltWinters,
+//     AR, MovingAverage, ...);
+//   - the baseline recommenders the paper compares against (the default
+//     Kubernetes VPA, an OpenShift-style predictive VPA, fixed limits,
+//     and an Autopilot-style moving maximum);
+//   - the §5 trace-driven simulator (Simulate) with its K/C/N metrics
+//     and pay-as-you-go billing;
+//   - the parameter-tuning harness (RandomSearch, ParetoFrontier,
+//     BestForAlpha) for mapping customer cost/performance preferences to
+//     algorithm parameters;
+//   - the live end-to-end harness (RunLive) that executes workloads on a
+//     miniature Kubernetes substrate with rolling-update resizes and a
+//     transaction-level database model;
+//   - workload synthesis (Workloads, AlibabaTrace, Stitch) for every
+//     trace family used in the paper's evaluation.
+//
+// See the examples/ directory for runnable programs and DESIGN.md for the
+// system inventory.
+package caasper
+
+import (
+	"caasper/internal/baselines"
+	"caasper/internal/core"
+	"caasper/internal/dbsim"
+	"caasper/internal/forecast"
+	"caasper/internal/k8s"
+	"caasper/internal/pvp"
+	"caasper/internal/recommend"
+	"caasper/internal/sim"
+	"caasper/internal/trace"
+	"caasper/internal/tuning"
+	"caasper/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Core algorithm
+
+// Config carries the Algorithm 1 inputs: slope thresholds (s_h, s_l),
+// slack thresholds (m_h, m_l), maximum step sizes (SF_h, SF_l), the
+// operational floor c_min, the usage quantile and the SKU ladder.
+type Config = core.Config
+
+// Decision is one autoscaling decision with its interpretable
+// intermediate state (slope, skew, scaling factor, prose explanation).
+type Decision = core.Decision
+
+// Branch identifies which arm of Algorithm 1 produced a decision.
+type Branch = core.Branch
+
+// The Algorithm 1 decision branches.
+const (
+	BranchScaleUp   = core.BranchScaleUp
+	BranchScaleDown = core.BranchScaleDown
+	BranchWalkDown  = core.BranchWalkDown
+	BranchHold      = core.BranchHold
+)
+
+// DefaultConfig returns the paper-flavoured defaults over a SKU ladder of
+// 1..maxCores whole cores.
+func DefaultConfig(maxCores int) Config { return core.DefaultConfig(maxCores) }
+
+// Recommender is the pluggable policy interface of the autoscaling loop
+// (paper Figure 1 step 3): Observe one usage sample per metric interval,
+// Recommend a target allocation at each decision tick.
+type Recommender = recommend.Recommender
+
+// NewReactive builds the reactive CaaSPER recommender: Algorithm 1
+// evaluated over a sliding usage window of `window` samples (the paper
+// uses the last 40 minutes).
+func NewReactive(cfg Config, window int) (Recommender, error) {
+	return recommend.NewCaaSPERReactive(cfg, window)
+}
+
+// NewProactive builds the hybrid reactive+proactive recommender: the
+// decision window combines the observed tail with `horizon` forecast
+// samples (Eq. 4) once `minHistory` samples (one full season) have
+// accumulated.
+func NewProactive(cfg Config, f Forecaster, observedWindow, horizon, minHistory int) (Recommender, error) {
+	return recommend.NewCaaSPERProactive(cfg, f, observedWindow, horizon, minHistory)
+}
+
+// Decide evaluates Algorithm 1 once, outside any loop: given the current
+// whole-core allocation and a CPU usage window, it returns the decision
+// with its explanation. This is the stateless entry point for ad-hoc
+// "what would CaaSPER do" queries.
+func Decide(cfg Config, currentCores int, usage []float64) (Decision, error) {
+	r, err := core.New(cfg)
+	if err != nil {
+		return Decision{}, err
+	}
+	return r.Decide(currentCores, usage)
+}
+
+// ---------------------------------------------------------------------------
+// PvP curves
+
+// SKURange is the candidate core ladder of the PvP curve.
+type SKURange = pvp.SKURange
+
+// Curve is a price-vs-performance curve: 1−P(throttling) per SKU.
+type Curve = pvp.Curve
+
+// BuildCurve constructs the PvP curve for a usage window (Eq. 1).
+func BuildCurve(usage []float64, r SKURange) (*Curve, error) {
+	return pvp.BuildCurve(usage, r)
+}
+
+// ScalingFactor evaluates the Eq. 3 function SF(s, skew).
+func ScalingFactor(slope, skew float64, params pvp.ScalingFactorParams) float64 {
+	return pvp.ScalingFactor(slope, skew, params)
+}
+
+// ScalingFactorParams configures Eq. 3.
+type ScalingFactorParams = pvp.ScalingFactorParams
+
+// ---------------------------------------------------------------------------
+// Forecasting
+
+// Forecaster predicts future CPU usage from history.
+type Forecaster = forecast.Forecaster
+
+// NewSeasonalNaive returns the paper's production forecaster: repeat the
+// last full season of `season` samples.
+func NewSeasonalNaive(season int) Forecaster { return &forecast.SeasonalNaive{Season: season} }
+
+// NewHoltWinters returns an additive triple-exponential-smoothing
+// forecaster.
+func NewHoltWinters(alpha, beta, gamma float64, season int) Forecaster {
+	return &forecast.HoltWinters{Alpha: alpha, Beta: beta, Gamma: gamma, Season: season}
+}
+
+// NewAR returns an autoregressive forecaster of order p (Yule–Walker).
+func NewAR(p int) Forecaster { return &forecast.AR{P: p} }
+
+// NewMovingAverage returns a windowed moving-average forecaster.
+func NewMovingAverage(window int) Forecaster { return &forecast.MovingAverage{Window: window} }
+
+// NewIntervalSeasonalNaive returns the seasonal-naïve forecaster with
+// empirical prediction intervals, enabling the §4.3 confidence prefilter
+// (set Proactive.MaxRelativeUncertainty on the core type to use it).
+func NewIntervalSeasonalNaive(season int) Forecaster {
+	return forecast.NewIntervalSeasonalNaive(season)
+}
+
+// EnsembleMode selects how an ensemble combines member forecasts.
+type EnsembleMode = forecast.EnsembleMode
+
+// Ensemble combination rules.
+const (
+	EnsembleMean   = forecast.EnsembleMean
+	EnsembleMax    = forecast.EnsembleMax
+	EnsembleMedian = forecast.EnsembleMedian
+)
+
+// NewEnsemble combines several forecasters under the given rule.
+func NewEnsemble(mode EnsembleMode, members ...Forecaster) Forecaster {
+	return &forecast.Ensemble{Members: members, Mode: mode}
+}
+
+// ---------------------------------------------------------------------------
+// Multi-resource scaling (paper §8 future work)
+
+// UsageSample is one multi-dimensional resource observation
+// (e.g. {"cpu": 3.2, "mem_gib": 18}).
+type UsageSample = pvp.UsageSample
+
+// ResourceLadder bounds one scalable dimension.
+type ResourceLadder = core.ResourceLadder
+
+// MultiResourceConfig configures independent per-dimension decisions.
+type MultiResourceConfig = core.MultiResourceConfig
+
+// MultiResourceDecision carries per-dimension targets and explanations.
+type MultiResourceDecision = core.MultiResourceDecision
+
+// NewMultiResource builds the multi-dimensional recommender: one
+// Algorithm 1 evaluation per resource dimension (CPU, memory, ...) over
+// its marginal usage distribution.
+func NewMultiResource(cfg MultiResourceConfig) (*core.MultiResourceRecommender, error) {
+	return core.NewMultiResource(cfg)
+}
+
+// ---------------------------------------------------------------------------
+// Baselines
+
+// NewControl returns the fixed-limits reference policy.
+func NewControl(cores int) Recommender { return baselines.NewControl(cores) }
+
+// NewKubernetesVPA returns the default-VPA baseline (decaying histogram,
+// P90 target) with upstream-default options over the given ladder.
+func NewKubernetesVPA(maxCores int) (Recommender, error) {
+	return baselines.NewKubernetesVPA(baselines.DefaultKubernetesVPAOptions(maxCores))
+}
+
+// NewOpenShiftVPA returns the OpenShift-style predictive baseline.
+func NewOpenShiftVPA(maxCores int) (Recommender, error) {
+	return baselines.NewOpenShiftVPA(baselines.DefaultOpenShiftVPAOptions(maxCores))
+}
+
+// NewAutopilot returns the moving-window-maximum baseline.
+func NewAutopilot(maxCores int) (Recommender, error) {
+	return baselines.NewAutopilot(baselines.DefaultAutopilotOptions(maxCores))
+}
+
+// ---------------------------------------------------------------------------
+// Traces and workloads
+
+// Trace is a regularly sampled CPU usage series in cores.
+type Trace = trace.Trace
+
+// NewTrace builds a trace from raw values.
+var NewTrace = trace.New
+
+// ReadTraceCSV parses a trace in the repository's CSV form
+// (index,cpu_cores rows with a header), attaching the given name and
+// sample interval.
+var ReadTraceCSV = trace.ReadCSV
+
+// Workloads exposes the paper's synthetic workload generators keyed by
+// name. Each takes a seed and returns a one-minute-resolution trace.
+var Workloads = map[string]func(seed uint64) *Trace{
+	"step62h":    workload.StepTrace62h,
+	"workday12h": workload.Workday12h,
+	"cyclical3d": workload.Cyclical3Day,
+	"workweek":   workload.WorkWeek,
+	"customer":   workload.CustomerTrace,
+	"throttled8": workload.ThrottledAt8,
+	"healthy32":  workload.HealthyAt32,
+	"overprov12": workload.OverProvisionedAt12,
+	"throttled3": workload.ThrottledAt3,
+}
+
+// AlibabaIDs lists the Alibaba-style trace identifiers of §6.3.
+var AlibabaIDs = workload.AlibabaIDs
+
+// AlibabaTrace synthesizes the stand-in for one Alibaba container trace.
+func AlibabaTrace(id string, seed uint64) (*Trace, error) {
+	return workload.AlibabaTrace(id, seed)
+}
+
+// ---------------------------------------------------------------------------
+// Simulation (§5)
+
+// SimOptions configures the trace-driven simulator.
+type SimOptions = sim.Options
+
+// SimResult aggregates one simulation run: the K/C/N metrics, throttled
+// observation share, billing cost and full per-minute series.
+type SimResult = sim.Result
+
+// DefaultSimOptions returns 10-minute decisions, 10-minute resizes and
+// hourly billing.
+func DefaultSimOptions(initial, maxCores int) SimOptions {
+	return sim.DefaultOptions(initial, maxCores)
+}
+
+// Simulate replays a demand trace through a recommender.
+func Simulate(tr *Trace, rec Recommender, opts SimOptions) (*SimResult, error) {
+	return sim.Run(tr, rec, opts)
+}
+
+// ---------------------------------------------------------------------------
+// Parameter tuning (§5)
+
+// TuningParams is one tunable parameter combination.
+type TuningParams = tuning.Params
+
+// TuningEvaluation is one simulated evaluation of a combination.
+type TuningEvaluation = tuning.Evaluation
+
+// RandomSearch evaluates random parameter combinations on a trace.
+var RandomSearch = tuning.RandomSearch
+
+// TuningOptions configures RandomSearch.
+type TuningOptions = tuning.SearchOptions
+
+// ParetoFrontier extracts the non-dominated (K, C) evaluations.
+var ParetoFrontier = tuning.ParetoFrontier
+
+// BestForAlpha minimises G(α, p) = α·K + C (Eq. 5).
+var BestForAlpha = tuning.BestForAlpha
+
+// SampleAlphas draws slack-penalty coefficients from the log-uniform
+// distribution of Eq. 6, sorted ascending.
+var SampleAlphas = tuning.SampleAlphas
+
+// ---------------------------------------------------------------------------
+// Live end-to-end harness (§6.2)
+
+// LiveOptions configures the end-to-end run on the Kubernetes substrate.
+type LiveOptions = dbsim.HarnessOptions
+
+// LiveResult aggregates a live run: transaction throughput/latency,
+// scaling counts, failovers, slack and billing.
+type LiveResult = dbsim.LiveResult
+
+// LoadSchedule is a transaction workload: arrival rates plus a mix.
+type LoadSchedule = workload.LoadSchedule
+
+// Cluster is the miniature Kubernetes node pool hosting a stateful set.
+type Cluster = k8s.Cluster
+
+// SmallCluster returns the paper's small test cluster (6 × 8 CPU / 32 GiB).
+var SmallCluster = k8s.SmallCluster
+
+// LargeCluster returns the paper's large test cluster (6 × 16 CPU / 56 GiB).
+var LargeCluster = k8s.LargeCluster
+
+// DatabaseA returns the paper's Database A preset: 3 replicas, strict HA,
+// 5–15 minute resizes.
+func DatabaseA(initial, maxCores int) LiveOptions { return dbsim.DatabaseAOptions(initial, maxCores) }
+
+// DatabaseB returns the paper's Database B preset: 2 read-scale replicas,
+// 3–5 minute resizes.
+func DatabaseB(initial, maxCores int) LiveOptions { return dbsim.DatabaseBOptions(initial, maxCores) }
+
+// RunLive executes the full autoscaling loop (Figure 1) for the schedule.
+func RunLive(sched *LoadSchedule, rec Recommender, opts LiveOptions) (*LiveResult, error) {
+	return dbsim.RunLive(sched, rec, opts)
+}
+
+// WorkdaySchedule returns the §6.2 12-hour live workload.
+var WorkdaySchedule = workload.WorkdaySchedule
+
+// ScheduleForCores converts a CPU demand pattern into a transaction
+// schedule under the given mix.
+var ScheduleForCores = workload.ScheduleForCores
+
+// TracePattern adapts a trace into a demand pattern for ScheduleForCores.
+var TracePattern = workload.TracePattern
+
+// MixedOLTP returns the blended TPC-C + YCSB transaction mix.
+var MixedOLTP = workload.MixedOLTP
+
+// Stitch recreates a customer trace from benchmark mixes (Stitcher-style).
+var Stitch = workload.Stitch

@@ -1,0 +1,66 @@
+package main
+
+import "testing"
+
+func TestSplitList(t *testing.T) {
+	got := splitList(" a, b ,,c ")
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("splitList = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("splitList[%d] = %q", i, got[i])
+		}
+	}
+	if splitList("") != nil {
+		t.Error("empty list should be nil")
+	}
+}
+
+func TestCollectTraces(t *testing.T) {
+	traces, err := collectTraces("workday12h,step62h", "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 2 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	if _, err := collectTraces("nope", "", 1); err == nil {
+		t.Error("unknown workload should error")
+	}
+	traces, err = collectTraces("", "c_1,c_4043", 1)
+	if err != nil || len(traces) != 2 {
+		t.Errorf("alibaba traces: %v %d", err, len(traces))
+	}
+	if _, err := collectTraces("", "c_zzz", 1); err == nil {
+		t.Error("unknown alibaba id should error")
+	}
+}
+
+func TestCollectFactories(t *testing.T) {
+	traces, err := collectTraces("workday12h", "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := collectFactories("control,caasper,caasper-proactive,vpa,openshift,autopilot", traces, 1440)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 6 {
+		t.Fatalf("factories = %d", len(fs))
+	}
+	for _, f := range fs {
+		rec, err := f.New()
+		if err != nil {
+			t.Errorf("%s: %v", f.Name, err)
+			continue
+		}
+		if rec.Name() == "" {
+			t.Errorf("%s built a nameless recommender", f.Name)
+		}
+	}
+	if _, err := collectFactories("bogus", traces, 1440); err == nil {
+		t.Error("unknown recommender should error")
+	}
+}

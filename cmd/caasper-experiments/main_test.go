@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunnersHaveUniqueIDsAndDocs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range runners {
+		if r.id == "" || r.doc == "" || r.fn == nil {
+			t.Errorf("incomplete runner %+v", r.id)
+		}
+		if seen[r.id] {
+			t.Errorf("duplicate runner id %q", r.id)
+		}
+		seen[r.id] = true
+	}
+	// Every paper artifact is covered.
+	for _, want := range []string{
+		"fig3", "fig4", "fig5", "fig6", "fig7", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "fig14", "correctness", "motivation", "table1-margins",
+		"ablation-inplace", "ablation-horizon", "ablation-prefilter",
+	} {
+		if !seen[want] {
+			t.Errorf("missing runner %q", want)
+		}
+	}
+}
+
+func TestFastRunnersProduceReports(t *testing.T) {
+	fast := map[string]bool{"fig4": true, "fig5": true, "fig6": true, "fig7": true}
+	for _, r := range runners {
+		if !fast[r.id] {
+			continue
+		}
+		text, err := r.fn(1, 10)
+		if err != nil {
+			t.Errorf("%s: %v", r.id, err)
+			continue
+		}
+		if !strings.Contains(text, "paper") {
+			t.Errorf("%s report lacks the paper comparison line:\n%s", r.id, text)
+		}
+	}
+}

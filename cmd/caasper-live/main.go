@@ -1,0 +1,134 @@
+// Command caasper-live runs the full end-to-end autoscaling loop of
+// paper Figure 1 on the miniature Kubernetes substrate: a replicated
+// database stateful set driven by a BenchBase-style transaction schedule,
+// with a metrics server, a pluggable recommender, a scaler with safety
+// checks, rolling-update resizes (secondaries first, primary last), and
+// pay-as-you-go billing.
+//
+// Examples:
+//
+//	caasper-live -workload workday -database A -recommender caasper
+//	caasper-live -workload cyclical -database B -recommender caasper-proactive
+//	caasper-live -workload workday -recommender control -control-cores 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"caasper"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "workday", "live workload: workday (12h), cyclical (3d), customer (20h)")
+		database     = flag.String("database", "A", "database preset: A (3 replicas, strict HA) or B (2 read-scale replicas)")
+		recName      = flag.String("recommender", "caasper", "recommender: caasper, caasper-proactive, vpa, openshift, autopilot, control")
+		initial      = flag.Int("initial", 0, "initial cores (default: workload preset)")
+		maxCores     = flag.Int("max", 0, "max cores (default: workload preset)")
+		controlAt    = flag.Int("control-cores", 0, "fixed allocation for -recommender control")
+		seed         = flag.Uint64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	sched, defInitial, defMax, err := buildSchedule(*workloadName, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if *initial == 0 {
+		*initial = defInitial
+	}
+	if *maxCores == 0 {
+		*maxCores = defMax
+	}
+	if *controlAt == 0 {
+		*controlAt = *maxCores
+	}
+
+	rec, err := buildRecommender(*recName, *maxCores, *controlAt)
+	if err != nil {
+		fatal(err)
+	}
+
+	var opts caasper.LiveOptions
+	switch *database {
+	case "A", "a":
+		opts = caasper.DatabaseA(*initial, *maxCores)
+	case "B", "b":
+		opts = caasper.DatabaseB(*initial, *maxCores)
+	default:
+		fatal(fmt.Errorf("unknown database preset %q", *database))
+	}
+
+	if opts.MaxCores > 8 {
+		opts.Cluster = caasper.LargeCluster()
+	}
+
+	fmt.Printf("running %s on Database %s with %s (%d replicas, %d..%d cores)...\n",
+		sched.Name, *database, rec.Name(), opts.Replicas, opts.MinCores, opts.MaxCores)
+	start := time.Now()
+	res, err := caasper.RunLive(sched, rec, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("\nsimulated %s of wall time in %v\n", sched.Duration, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("completed txns:     %.0f\n", res.DB.CompletedTxns)
+	fmt.Printf("dropped txns:       %.0f\n", res.DB.DroppedTxns)
+	fmt.Printf("retried txns:       %.0f\n", res.DB.RetriedTxns)
+	fmt.Printf("interrupted txns:   %.0f (restarts/failovers)\n", res.DB.InterruptedTxns)
+	fmt.Printf("avg / med / p99 latency: %.1f / %.1f / %.1f ms\n",
+		res.DB.AvgLatencyMS, res.DB.MedLatencyMS, res.DB.P99LatencyMS)
+	fmt.Printf("resizes:            %d (failovers %d)\n", res.NumScalings, res.Failovers)
+	fmt.Printf("sum slack:          %.1f core-minutes\n", res.SumSlack)
+	fmt.Printf("sum insufficient:   %.1f core-minutes\n", res.SumInsufficient)
+	fmt.Printf("billed core-hours:  %.0f\n", res.BilledCorePeriods)
+}
+
+func buildSchedule(name string, seed uint64) (*caasper.LoadSchedule, int, int, error) {
+	switch name {
+	case "workday":
+		return caasper.WorkdaySchedule(seed), 6, 6, nil
+	case "cyclical":
+		tr := caasper.Workloads["cyclical3d"](seed)
+		sched, err := caasper.ScheduleForCores("cyclical-live", caasper.MixedOLTP(),
+			caasper.TracePattern(tr), 72*time.Hour)
+		return sched, 14, 14, err
+	case "customer":
+		src := caasper.Workloads["customer"](seed)
+		sw, err := caasper.Stitch(src, 30*time.Minute)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return sw.Schedule(), 6, 6, nil
+	default:
+		return nil, 0, 0, fmt.Errorf("unknown live workload %q", name)
+	}
+}
+
+func buildRecommender(name string, maxCores, controlAt int) (caasper.Recommender, error) {
+	cfg := caasper.DefaultConfig(maxCores)
+	switch name {
+	case "caasper":
+		return caasper.NewReactive(cfg, 40)
+	case "caasper-proactive":
+		return caasper.NewProactive(cfg, caasper.NewSeasonalNaive(1440), 40, 60, 1440)
+	case "vpa":
+		return caasper.NewKubernetesVPA(maxCores)
+	case "openshift":
+		return caasper.NewOpenShiftVPA(maxCores)
+	case "autopilot":
+		return caasper.NewAutopilot(maxCores)
+	case "control":
+		return caasper.NewControl(controlAt), nil
+	default:
+		return nil, fmt.Errorf("unknown recommender %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "caasper-live:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestBuildSchedule(t *testing.T) {
+	for _, name := range []string{"workday", "cyclical", "customer"} {
+		sched, initial, maxC, err := buildSchedule(name, 1)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if err := sched.Validate(); err != nil {
+			t.Errorf("%s: invalid schedule: %v", name, err)
+		}
+		if initial < 1 || maxC < initial {
+			t.Errorf("%s: bounds %d/%d", name, initial, maxC)
+		}
+	}
+	if _, _, _, err := buildSchedule("bogus", 1); err == nil {
+		t.Error("unknown workload should error")
+	}
+}
+
+func TestBuildRecommenderLive(t *testing.T) {
+	for _, name := range []string{"caasper", "caasper-proactive", "vpa", "openshift", "autopilot", "control"} {
+		rec, err := buildRecommender(name, 8, 6)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if rec.Name() == "" {
+			t.Errorf("%s: nameless recommender", name)
+		}
+	}
+	if _, err := buildRecommender("bogus", 8, 6); err == nil {
+		t.Error("unknown recommender should error")
+	}
+}

@@ -1,0 +1,216 @@
+// Command caasper-sim replays a CPU demand trace through a pluggable
+// vertical-autoscaling recommender using the paper's §5 trace-driven
+// simulator and reports the K/C/N metrics, throttled-observation share,
+// throughput proxy and pay-as-you-go cost.
+//
+// Examples:
+//
+//	caasper-sim -workload step62h -recommender caasper -initial 14 -max 14
+//	caasper-sim -workload cyclical3d -recommender caasper-proactive -season 1440
+//	caasper-sim -alibaba c_29247 -recommender vpa
+//	caasper-sim -trace usage.csv -recommender openshift -max 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"caasper"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "", "synthetic workload name (step62h, workday12h, cyclical3d, customer, ...)")
+		alibabaID    = flag.String("alibaba", "", "alibaba-style trace id (c_1, c_4043, ...)")
+		traceFile    = flag.String("trace", "", "CSV trace file (index,cpu_cores) at 1-minute resolution")
+		recName      = flag.String("recommender", "caasper", "recommender: caasper, caasper-proactive, vpa, openshift, autopilot, control")
+		initial      = flag.Int("initial", 0, "initial core allocation (default: trace peak + 1)")
+		maxCores     = flag.Int("max", 0, "SKU ladder maximum (default: trace peak * 1.5 + 2)")
+		controlAt    = flag.Int("control-cores", 0, "fixed allocation for -recommender control (default: initial)")
+		window       = flag.Int("window", 40, "reactive decision window in minutes")
+		horizon      = flag.Int("horizon", 60, "proactive forecast horizon in minutes")
+		season       = flag.Int("season", 1440, "seasonal-naive period in minutes")
+		decisionInt  = flag.Int("decision-interval", 10, "minutes between decisions")
+		resizeDelay  = flag.Int("resize-delay", 10, "minutes for a resize to take effect")
+		seed         = flag.Uint64("seed", 1, "workload seed")
+		plot         = flag.Bool("plot", true, "print an ASCII chart of limits vs usage")
+		explain      = flag.Bool("explain", false, "print each resize's decision explanation (CaaSPER recommenders)")
+	)
+	flag.Parse()
+
+	tr, err := loadTrace(*workloadName, *alibabaID, *traceFile, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	peak := tr.Summarize().Max
+	if *maxCores == 0 {
+		*maxCores = int(peak*1.5) + 2
+	}
+	if *initial == 0 {
+		*initial = int(peak) + 1
+		if *initial > *maxCores {
+			*initial = *maxCores
+		}
+	}
+	if *controlAt == 0 {
+		*controlAt = *initial
+	}
+
+	rec, err := buildRecommender(*recName, *maxCores, *controlAt, *window, *horizon, *season)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := caasper.DefaultSimOptions(*initial, *maxCores)
+	opts.DecisionEveryMinutes = *decisionInt
+	opts.ResizeDelayMinutes = *resizeDelay
+
+	res, err := caasper.Simulate(tr, rec, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("trace:        %s (%d minutes, peak %.2f cores)\n", res.TraceName, res.Minutes, peak)
+	fmt.Printf("recommender:  %s\n", res.Recommender)
+	fmt.Printf("sum slack K:        %.1f core-minutes (avg %.3f)\n", res.SumSlack, res.AvgSlack)
+	fmt.Printf("sum insufficient C: %.1f core-minutes (avg %.4f)\n", res.SumInsufficient, res.AvgInsufficient)
+	fmt.Printf("num scalings N:     %d\n", res.NumScalings)
+	fmt.Printf("throttled obs:      %.2f%%\n", res.ThrottledPct*100)
+	fmt.Printf("throughput proxy:   %.1f%%\n", res.ThroughputProxy()*100)
+	fmt.Printf("billed core-hours:  %.0f\n", res.BilledCorePeriods)
+	if len(res.Decisions) > 0 {
+		fmt.Printf("scalings:\n")
+		for _, d := range res.Decisions {
+			fmt.Printf("  t=%5dm  %2d -> %2d cores (effective t=%dm)\n", d.Minute, d.From, d.To, d.EffectiveAt)
+			if *explain && d.Explanation != "" {
+				fmt.Printf("           %s\n", d.Explanation)
+			}
+		}
+	}
+	if *plot {
+		fmt.Println()
+		fmt.Println(asciiChart(res.Demand, res.Limits, 72, 14))
+	}
+}
+
+func loadTrace(workloadName, alibabaID, traceFile string, seed uint64) (*caasper.Trace, error) {
+	switch {
+	case traceFile != "":
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return caasper.ReadTraceCSV(f, traceFile, time.Minute)
+	case alibabaID != "":
+		return caasper.AlibabaTrace(alibabaID, seed)
+	case workloadName != "":
+		gen, ok := caasper.Workloads[workloadName]
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q (known: %s)", workloadName, knownWorkloads())
+		}
+		return gen(seed), nil
+	default:
+		return nil, fmt.Errorf("one of -workload, -alibaba or -trace is required (workloads: %s)", knownWorkloads())
+	}
+}
+
+func knownWorkloads() string {
+	names := make([]string, 0, len(caasper.Workloads))
+	for n := range caasper.Workloads {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+func buildRecommender(name string, maxCores, controlAt, window, horizon, season int) (caasper.Recommender, error) {
+	cfg := caasper.DefaultConfig(maxCores)
+	switch name {
+	case "caasper":
+		return caasper.NewReactive(cfg, window)
+	case "caasper-proactive":
+		return caasper.NewProactive(cfg, caasper.NewSeasonalNaive(season), window, horizon, season)
+	case "vpa":
+		return caasper.NewKubernetesVPA(maxCores)
+	case "openshift":
+		return caasper.NewOpenShiftVPA(maxCores)
+	case "autopilot":
+		return caasper.NewAutopilot(maxCores)
+	case "control":
+		return caasper.NewControl(controlAt), nil
+	default:
+		return nil, fmt.Errorf("unknown recommender %q", name)
+	}
+}
+
+// asciiChart renders demand (·) and limits (#) as a downsampled chart.
+func asciiChart(demand, limits []float64, width, height int) string {
+	if len(demand) == 0 {
+		return ""
+	}
+	maxV := 0.0
+	for i := range demand {
+		if demand[i] > maxV {
+			maxV = demand[i]
+		}
+		if limits[i] > maxV {
+			maxV = limits[i]
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	bucket := (len(demand) + width - 1) / width
+	cols := (len(demand) + bucket - 1) / bucket
+	dOut := make([]float64, cols)
+	lOut := make([]float64, cols)
+	for c := 0; c < cols; c++ {
+		lo, hi := c*bucket, (c+1)*bucket
+		if hi > len(demand) {
+			hi = len(demand)
+		}
+		for i := lo; i < hi; i++ {
+			if demand[i] > dOut[c] {
+				dOut[c] = demand[i]
+			}
+			if limits[i] > lOut[c] {
+				lOut[c] = limits[i]
+			}
+		}
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	rowFor := func(v float64) int {
+		r := height - 1 - int(v/maxV*float64(height-1))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for c := 0; c < cols; c++ {
+		grid[rowFor(dOut[c])][c] = '.'
+		grid[rowFor(lOut[c])][c] = '#'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "cores (max %.1f)   '#' = limits, '.' = demand\n", maxV)
+	for _, row := range grid {
+		b.WriteString(string(row))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "caasper-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// Command caasper-trace synthesizes the repository's workload traces —
+// the paper's synthetic evaluation workloads and the Alibaba-style
+// stand-ins — and writes them as CSV (index,cpu_cores at one-minute
+// resolution) for use with caasper-sim or external tooling.
+//
+// Examples:
+//
+//	caasper-trace -workload step62h > step.csv
+//	caasper-trace -alibaba c_29247 -out c29247.csv
+//	caasper-trace -list
+//	caasper-trace -workload cyclical3d -summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"caasper"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "", "synthetic workload name")
+		alibabaID    = flag.String("alibaba", "", "alibaba-style trace id")
+		out          = flag.String("out", "", "output file (default stdout)")
+		list         = flag.Bool("list", false, "list available workloads and exit")
+		summary      = flag.Bool("summary", false, "print summary statistics instead of CSV")
+		seed         = flag.Uint64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	if *list {
+		names := make([]string, 0, len(caasper.Workloads))
+		for n := range caasper.Workloads {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println("synthetic workloads:")
+		for _, n := range names {
+			fmt.Printf("  %s\n", n)
+		}
+		fmt.Println("alibaba-style traces:")
+		for _, id := range caasper.AlibabaIDs {
+			fmt.Printf("  %s\n", id)
+		}
+		return
+	}
+
+	var tr *caasper.Trace
+	var err error
+	switch {
+	case *alibabaID != "":
+		tr, err = caasper.AlibabaTrace(*alibabaID, *seed)
+	case *workloadName != "":
+		gen, ok := caasper.Workloads[*workloadName]
+		if !ok {
+			fatal(fmt.Errorf("unknown workload %q (use -list)", *workloadName))
+		}
+		tr = gen(*seed)
+	default:
+		fatal(fmt.Errorf("one of -workload or -alibaba is required (use -list)"))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *summary {
+		s := tr.Summarize()
+		fmt.Printf("name:     %s\n", s.Name)
+		fmt.Printf("samples:  %d (%s)\n", s.Samples, s.Duration)
+		fmt.Printf("mean:     %.3f cores\n", s.Mean)
+		fmt.Printf("stddev:   %.3f\n", s.StdDev)
+		fmt.Printf("min/max:  %.3f / %.3f\n", s.Min, s.Max)
+		fmt.Printf("p50/p90/p99: %.3f / %.3f / %.3f\n", s.P50, s.P90, s.P99)
+		return
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.WriteCSV(w); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "caasper-trace:", err)
+	os.Exit(1)
+}

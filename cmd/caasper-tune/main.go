@@ -1,0 +1,80 @@
+// Command caasper-tune runs the §5 parameter-tuning methodology on a CPU
+// trace: a random search over CaaSPER's reactive parameters and proactive
+// window sizes, Pareto-frontier extraction over (slack, throttling), and
+// a sweep of the Eq. 5 objective G(α, p) = α·K + C over log-uniform α
+// samples, printing the preference-ordered optimal parameter set.
+//
+// Examples:
+//
+//	caasper-tune -workload cyclical3d -samples 500
+//	caasper-tune -alibaba c_29247 -samples 200 -alphas 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"caasper"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "cyclical3d", "synthetic workload name")
+		alibabaID    = flag.String("alibaba", "", "alibaba-style trace id (overrides -workload)")
+		samples      = flag.Int("samples", 500, "random parameter combinations (paper: 5000)")
+		alphaCount   = flag.Int("alphas", 8, "log-uniform alpha samples for the Eq. 6 sweep")
+		season       = flag.Int("season", 1440, "seasonal period in minutes for proactive combinations")
+		seed         = flag.Uint64("seed", 1, "search and workload seed")
+	)
+	flag.Parse()
+
+	var tr *caasper.Trace
+	var err error
+	if *alibabaID != "" {
+		tr, err = caasper.AlibabaTrace(*alibabaID, *seed)
+	} else {
+		gen, ok := caasper.Workloads[*workloadName]
+		if !ok {
+			fatal(fmt.Errorf("unknown workload %q", *workloadName))
+		}
+		tr = gen(*seed)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("tuning on %s: %d samples...\n", tr.Name, *samples)
+	evals, err := caasper.RandomSearch(tr, caasper.TuningOptions{
+		Samples:       *samples,
+		Seed:          *seed,
+		SeasonMinutes: *season,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	frontier := caasper.ParetoFrontier(evals)
+	fmt.Printf("\nPareto frontier (%d of %d evaluations):\n", len(frontier), len(evals))
+	fmt.Printf("%10s  %10s  %6s  %9s  %s\n", "K (slack)", "C (insuff)", "N", "throttled", "params")
+	for _, e := range frontier {
+		fmt.Printf("%10.0f  %10.1f  %6d  %8.2f%%  %s\n",
+			e.K, e.C, e.N, e.ThrottledPct*100, e.Params)
+	}
+
+	alphas := caasper.SampleAlphas(*alphaCount, -5, 5, *seed+1)
+	fmt.Printf("\nEq. 6 alpha sweep (G = alpha*K + C):\n")
+	fmt.Printf("%10s  %10s  %10s  %6s  %s\n", "alpha", "K", "C", "N", "params")
+	for _, a := range alphas {
+		best, err := caasper.BestForAlpha(a, evals)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%10.4f  %10.0f  %10.1f  %6d  %s\n", a, best.K, best.C, best.N, best.Params)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "caasper-tune:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+// Cost-vs-performance: the paper's §5 parameter-tuning flow. A random
+// search over CaaSPER's parameters is evaluated in the simulator, the
+// Pareto frontier over (slack, throttling) is extracted, and the Eq. 5
+// objective G(α, p) = α·K + C maps a customer's preference — cheap vs
+// fast — onto a concrete parameter combination.
+//
+//	go run ./examples/cost-vs-performance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"caasper"
+)
+
+func main() {
+	tr := caasper.Workloads["cyclical3d"](11)
+	fmt.Printf("tuning CaaSPER on %q (%d minute samples)...\n\n", tr.Name, tr.Len())
+
+	evals, err := caasper.RandomSearch(tr, caasper.TuningOptions{
+		Samples:       150, // the paper sweeps 5000; keep the example snappy
+		Seed:          3,
+		SeasonMinutes: 24 * 60,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	frontier := caasper.ParetoFrontier(evals)
+	fmt.Printf("Pareto frontier: %d of %d combinations survive\n", len(frontier), len(evals))
+	fmt.Printf("%12s %12s %8s  %s\n", "K (slack)", "C (insuff)", "N", "mode")
+	for _, e := range frontier {
+		mode := "reactive"
+		if e.Params.Proactive() {
+			mode = "proactive"
+		}
+		fmt.Printf("%12.0f %12.1f %8d  %s\n", e.K, e.C, e.N, mode)
+	}
+
+	// Two customers, two preferences (the paper's Figure 13 sweep):
+	// α → 0 buys insurance against throttling; large α trims every idle
+	// core.
+	fmt.Printf("\n%-22s %10s %12s %12s %8s\n", "preference", "alpha", "K (slack)", "C (insuff)", "N")
+	for _, pref := range []struct {
+		name  string
+		alpha float64
+	}{
+		{"mission-critical", 0.01},
+		{"balanced", 0.447},
+		{"cost-conscious", 2.28},
+		{"ruthless-saver", 50},
+	} {
+		best, err := caasper.BestForAlpha(pref.alpha, evals)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %10.3f %12.0f %12.1f %8d\n",
+			pref.name, pref.alpha, best.K, best.C, best.N)
+	}
+	fmt.Println("\nas the slack penalty alpha grows, the chosen configuration trades head-room for cost (paper Figure 13)")
+}

@@ -1,0 +1,77 @@
+// DBaaS-cluster: the paper's live-system evaluation in miniature. A
+// 3-replica "Database A" stateful set runs on the small Kubernetes-like
+// cluster, a BenchBase-style workday drives transactions at it, and the
+// full autoscaling loop — metrics server, CaaSPER recommender, scaler,
+// operator rolling updates with primary-last restarts — resizes the pods
+// under load. Compare against the fixed-allocation control to see the
+// paper's Table 1 trade-off: same throughput, lower bill.
+//
+//	go run ./examples/dbaas-cluster
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"caasper"
+)
+
+func main() {
+	sched := caasper.WorkdaySchedule(5)
+	const cores = 6 // the control's fixed allocation, sized for the peak
+
+	fmt.Println("control run: limits fixed at 6 cores for 12 hours...")
+	control, err := caasper.RunLive(sched, caasper.NewControl(cores), caasper.DatabaseA(cores, cores))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("caasper run: reactive autoscaling, same cluster, same workload...")
+	rec, err := caasper.NewReactive(caasper.DefaultConfig(cores), 40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ca, err := caasper.RunLive(sched, rec, caasper.DatabaseA(cores, cores))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-26s %14s %14s\n", "", "control", "caasper")
+	row := func(label string, c, a interface{}) {
+		fmt.Printf("%-26s %14v %14v\n", label, c, a)
+	}
+	row("completed txns", int(control.DB.CompletedTxns), int(ca.DB.CompletedTxns))
+	row("avg latency (ms)", fmt.Sprintf("%.1f", control.DB.AvgLatencyMS), fmt.Sprintf("%.1f", ca.DB.AvgLatencyMS))
+	row("median latency (ms)", fmt.Sprintf("%.1f", control.DB.MedLatencyMS), fmt.Sprintf("%.1f", ca.DB.MedLatencyMS))
+	row("interrupted txns", int(control.DB.InterruptedTxns), int(ca.DB.InterruptedTxns))
+	row("resizes / failovers",
+		fmt.Sprintf("%d / %d", control.NumScalings, control.Failovers),
+		fmt.Sprintf("%d / %d", ca.NumScalings, ca.Failovers))
+	row("billed core-hours", fmt.Sprintf("%.0f", control.BilledCorePeriods), fmt.Sprintf("%.0f", ca.BilledCorePeriods))
+
+	fmt.Printf("\ncaasper price: %.0f%% of control (paper: 85%%), slack reduced %.0f%% (paper: 39.6%%)\n",
+		ca.CostRatioVs(control)*100, ca.SlackReductionVs(control)*100)
+
+	fmt.Println("\nlimit trajectory (cores per hour):")
+	for h := 0; h*60 < len(ca.LimitsPerMinute); h++ {
+		end := (h + 1) * 60
+		if end > len(ca.LimitsPerMinute) {
+			end = len(ca.LimitsPerMinute)
+		}
+		peak := 0.0
+		for _, v := range ca.LimitsPerMinute[h*60 : end] {
+			if v > peak {
+				peak = v
+			}
+		}
+		fmt.Printf("  h%02d %s\n", h, bar(peak))
+	}
+}
+
+func bar(v float64) string {
+	out := ""
+	for i := 0.0; i < v; i++ {
+		out += "█"
+	}
+	return fmt.Sprintf("%-8s %.0f", out, v)
+}

@@ -1,0 +1,3 @@
+module caasper
+
+go 1.22

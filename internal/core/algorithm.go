@@ -1,0 +1,240 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"caasper/internal/pvp"
+	"caasper/internal/stats"
+)
+
+// Branch identifies which arm of Algorithm 1 produced a decision.
+type Branch string
+
+// The decision branches of Algorithm 1.
+const (
+	// BranchScaleUp is lines 8–9: steep slope or thin head-room.
+	BranchScaleUp Branch = "scale-up"
+	// BranchScaleDown is lines 10–11: flat slope or large idle share.
+	BranchScaleDown Branch = "scale-down"
+	// BranchWalkDown is lines 12–13: flat tail, severe over-provisioning.
+	BranchWalkDown Branch = "walk-down"
+	// BranchHold is the implicit between-thresholds case: no change.
+	BranchHold Branch = "hold"
+)
+
+// Decision is the output of one Algorithm 1 evaluation, carrying enough
+// intermediate state to satisfy the paper's interpretability requirement
+// (R6): the slope, skew, raw scaling factor and a prose explanation.
+type Decision struct {
+	// CurrentCores is the allocation the decision was made against.
+	CurrentCores int
+	// TargetCores is the recommended allocation (integer, guardrailed).
+	TargetCores int
+	// Delta is TargetCores − CurrentCores.
+	Delta int
+	// Branch names the Algorithm 1 arm that fired.
+	Branch Branch
+	// Slope is the PvP-curve slope s at CurrentCores.
+	Slope float64
+	// Skew is the slope-distribution skewness used by Eq. 3.
+	Skew float64
+	// RawSF is the unclamped, fractional Eq. 3 scaling factor.
+	RawSF float64
+	// Quantile is the usage quantile compared against the slack bands.
+	Quantile float64
+	// Explanation is a human-readable account of the decision.
+	Explanation string
+}
+
+// ScalingNeeded reports whether the decision changes the allocation.
+func (d Decision) ScalingNeeded() bool { return d.Delta != 0 }
+
+// Recommender evaluates Algorithm 1. It is stateless across calls — the
+// paper's "clean-slate, history-independent reactive algorithm" — so a
+// single instance may be shared by concurrent callers.
+type Recommender struct {
+	cfg Config
+}
+
+// New builds a Recommender after validating cfg.
+func New(cfg Config) (*Recommender, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Recommender{cfg: cfg}, nil
+}
+
+// Config returns the recommender's configuration.
+func (r *Recommender) Config() Config { return r.cfg }
+
+// ErrNoUsage is returned when the usage window is empty after
+// preprocessing.
+var ErrNoUsage = errors.New("core: empty usage window")
+
+// Preprocess cleans a usage window the way Algorithm 1 line 2 does:
+// NaN/Inf samples (metric-gap artifacts around restarts) and negatives
+// are dropped. The input is not mutated.
+func Preprocess(usage []float64) []float64 {
+	out := make([]float64, 0, len(usage))
+	for _, v := range usage {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// Decide runs Algorithm 1 for the current allocation and usage window
+// (observed and/or forecast-extended; see Proactive). It returns the
+// decision or an error for unusable input.
+func (r *Recommender) Decide(currentCores int, usage []float64) (Decision, error) {
+	cfg := r.cfg
+	xc := stats.ClampInt(currentCores, cfg.SKUs.MinCores, cfg.SKUs.MaxCores)
+
+	// Line 2: preprocess CPU.
+	clean := Preprocess(usage)
+	if len(clean) == 0 {
+		return Decision{}, ErrNoUsage
+	}
+	sort.Float64s(clean)
+
+	// Line 3: build the PvP curve (the refactored SKU recommendation
+	// tool of §4.2, CPU-only).
+	curve, err := pvp.BuildCurve(clean, cfg.SKUs)
+	if err != nil {
+		return Decision{}, err
+	}
+
+	// Lines 4–7: slopes, skew, current slope, scaling factor.
+	skew := curve.Skew()
+	s := curve.SlopeAt(xc)
+	rawSF := pvp.ScalingFactor(s, skew, cfg.SF)
+
+	q, err := stats.QuantileSorted(clean, cfg.QuantileP)
+	if err != nil {
+		return Decision{}, err
+	}
+	peak, _ := stats.QuantileSorted(clean, 1)
+
+	d := Decision{
+		CurrentCores: xc,
+		Slope:        s,
+		Skew:         skew,
+		RawSF:        rawSF,
+		Quantile:     q,
+	}
+
+	capf := float64(xc)
+	switch {
+	// Lines 8–9: scale up on a steep slope or when the usage quantile
+	// eats into the head-room buffer.
+	case s >= cfg.SlopeHigh || q >= (1-cfg.SlackHigh)*capf:
+		step := r.roundSF(rawSF)
+		if step < 1 {
+			step = 1 // an up-trigger always moves at least one core
+		}
+		if step > cfg.MaxStepUp {
+			step = cfg.MaxStepUp
+		}
+		// Single-step sufficiency: never land below the capacity that
+		// restores the configured buffer over the observed quantile.
+		needed := int(math.Ceil(q / (1 - cfg.SlackHigh)))
+		target := xc + step
+		if target < needed {
+			target = stats.ClampInt(needed, xc+1, xc+cfg.MaxStepUp)
+		}
+		d.Branch = BranchScaleUp
+		d.TargetCores = r.guardrail(target)
+		d.Explanation = fmt.Sprintf(
+			"scale-up: slope %.2f (threshold %.2f), P%.0f usage %.2f of %d cores (buffer threshold %.2f); SF %.2f → +%d cores",
+			s, cfg.SlopeHigh, cfg.QuantileP*100, q, xc, (1-cfg.SlackHigh)*capf, rawSF, d.TargetCores-xc)
+
+	// Lines 10–13: scale down when the slope is flat or most capacity
+	// is idle; on a flat tail, walk the curve down in one move.
+	case s <= cfg.SlopeLow || q <= cfg.SlackLow*capf:
+		if curve.FlatTailAt(xc) && s == 0 {
+			// Lines 12–13: walk down to the cheapest SKU that still
+			// meets the workload at the configured performance target.
+			target := curve.WalkDown(xc, cfg.WalkDownPerfTarget)
+			// Preserve the head-room buffer over the observed peak.
+			buffered := int(math.Ceil(peak / (1 - cfg.SlackHigh)))
+			if target < buffered {
+				target = buffered
+			}
+			if target > xc {
+				target = xc
+			}
+			d.Branch = BranchWalkDown
+			d.TargetCores = r.guardrail(target)
+			d.Explanation = fmt.Sprintf(
+				"walk-down: flat PvP tail at %d cores (peak usage %.2f); cheapest SKU meeting %.0f%% performance is %d cores",
+				xc, peak, cfg.WalkDownPerfTarget*100, d.TargetCores)
+			if d.TargetCores >= xc {
+				d.Branch = BranchHold
+				d.TargetCores = xc
+				d.Explanation = fmt.Sprintf(
+					"hold: flat PvP tail at %d cores but no cheaper SKU clears the buffered peak %.2f", xc, peak)
+			}
+		} else {
+			step := r.roundSF(rawSF)
+			if step < 1 {
+				step = 1
+			}
+			if step > cfg.MaxStepDown {
+				step = cfg.MaxStepDown
+			}
+			// Do not scale below the buffered quantile.
+			minSafe := int(math.Ceil(q / (1 - cfg.SlackHigh)))
+			target := xc - step
+			if target < minSafe {
+				target = minSafe
+			}
+			if target > xc {
+				target = xc
+			}
+			d.TargetCores = r.guardrail(target)
+			if d.TargetCores < xc {
+				d.Branch = BranchScaleDown
+				d.Explanation = fmt.Sprintf(
+					"scale-down: slope %.2f ≤ %.2f or P%.0f usage %.2f ≤ %.2f (idle threshold); SF %.2f → -%d cores",
+					s, cfg.SlopeLow, cfg.QuantileP*100, q, cfg.SlackLow*capf, rawSF, xc-d.TargetCores)
+			} else {
+				d.Branch = BranchHold
+				d.TargetCores = xc
+				d.Explanation = fmt.Sprintf(
+					"hold: down-trigger fired but buffered quantile %.2f forbids shrinking below %d cores", q, xc)
+			}
+		}
+
+	// Between thresholds: hold (the paper's R3 penalises needless
+	// scaling; holding is the only frequency-minimising choice).
+	default:
+		d.Branch = BranchHold
+		d.TargetCores = xc
+		d.Explanation = fmt.Sprintf(
+			"hold: slope %.2f within (%.2f, %.2f) and P%.0f usage %.2f within slack bands of %d cores",
+			s, cfg.SlopeLow, cfg.SlopeHigh, cfg.QuantileP*100, q, xc)
+	}
+
+	d.Delta = d.TargetCores - d.CurrentCores
+	return d, nil
+}
+
+// roundSF converts the fractional Eq. 3 factor into whole cores per the
+// configured rounding mode (paper: round down by default, §4.2).
+func (r *Recommender) roundSF(sf float64) int {
+	if r.cfg.RoundUp {
+		return int(math.Ceil(sf))
+	}
+	return int(math.Floor(sf))
+}
+
+// guardrail applies the Algorithm 1 line 14 guardrails: clamp the target
+// into [max(c_min, ladder bottom), ladder top].
+func (r *Recommender) guardrail(target int) int {
+	return stats.ClampInt(target, r.cfg.floor(), r.cfg.SKUs.MaxCores)
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"caasper/internal/pvp"
+	"caasper/internal/stats"
+)
+
+func multiCfg(t *testing.T) MultiResourceConfig {
+	t.Helper()
+	return MultiResourceConfig{
+		Ladders: map[string]ResourceLadder{
+			"cpu":     {Min: 2, Max: 16, Step: 1},
+			"mem_gib": {Min: 8, Max: 64, Step: 4},
+		},
+		Base: DefaultConfig(16),
+	}
+}
+
+func TestNewMultiResourceValidation(t *testing.T) {
+	if _, err := NewMultiResource(MultiResourceConfig{}); err == nil {
+		t.Error("no ladders should fail")
+	}
+	bad := multiCfg(t)
+	bad.Ladders["cpu"] = ResourceLadder{Min: 0, Max: 4, Step: 1}
+	if _, err := NewMultiResource(bad); err == nil {
+		t.Error("bad ladder should fail")
+	}
+	bad = multiCfg(t)
+	bad.Ladders["cpu"] = ResourceLadder{Min: 2, Max: 8, Step: 0}
+	if _, err := NewMultiResource(bad); err == nil {
+		t.Error("zero step should fail")
+	}
+}
+
+func TestMultiResourceIndependentDecisions(t *testing.T) {
+	// CPU pinned at its 4-core cap (scale up) while memory idles at
+	// 10 GiB of 48 (scale down): the two dimensions must move in
+	// opposite directions, per §4.2's "each resource can be scaled
+	// independently".
+	m, err := NewMultiResource(multiCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := make([]pvp.UsageSample, 120)
+	for i := range samples {
+		samples[i] = pvp.UsageSample{"cpu": 4, "mem_gib": 10}
+	}
+	d, err := m.Decide(map[string]int{"cpu": 4, "mem_gib": 48}, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Targets["cpu"] <= 4 {
+		t.Errorf("cpu target = %d, want scale-up", d.Targets["cpu"])
+	}
+	if d.Targets["mem_gib"] >= 48 {
+		t.Errorf("mem target = %d, want scale-down", d.Targets["mem_gib"])
+	}
+	if !d.AnyChange(map[string]int{"cpu": 4, "mem_gib": 48}) {
+		t.Error("AnyChange should be true")
+	}
+	// Memory target respects the 4-GiB granularity and ladder bounds.
+	if d.Targets["mem_gib"]%4 != 0 {
+		t.Errorf("mem target %d not on the 4-GiB grid", d.Targets["mem_gib"])
+	}
+	if d.Targets["mem_gib"] < 8 || d.Targets["mem_gib"] > 64 {
+		t.Errorf("mem target %d outside ladder", d.Targets["mem_gib"])
+	}
+	// Explanations carry the dimension tag (R6).
+	if !strings.HasPrefix(d.PerDimension["cpu"].Explanation, "[cpu]") {
+		t.Errorf("cpu explanation = %q", d.PerDimension["cpu"].Explanation)
+	}
+}
+
+func TestMultiResourceHoldWhenRightSized(t *testing.T) {
+	m, err := NewMultiResource(multiCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(4)
+	samples := make([]pvp.UsageSample, 200)
+	for i := range samples {
+		samples[i] = pvp.UsageSample{
+			"cpu":     5.2 + rng.NormFloat64()*0.2,
+			"mem_gib": 22 + rng.NormFloat64()*0.8,
+		}
+	}
+	current := map[string]int{"cpu": 7, "mem_gib": 28}
+	d, err := m.Decide(current, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.AnyChange(current) {
+		t.Errorf("right-sized pod should hold: %+v", d.Targets)
+	}
+}
+
+func TestMultiResourceMissingCurrentDefaultsToMin(t *testing.T) {
+	m, err := NewMultiResource(multiCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := []pvp.UsageSample{{"cpu": 1, "mem_gib": 6}}
+	d, err := m.Decide(map[string]int{}, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Targets["cpu"] < 2 || d.Targets["mem_gib"] < 8 {
+		t.Errorf("targets below ladder minima: %+v", d.Targets)
+	}
+}
+
+func TestMultiResourceEmptySamples(t *testing.T) {
+	m, _ := NewMultiResource(multiCfg(t))
+	if _, err := m.Decide(map[string]int{"cpu": 4}, nil); err != ErrNoUsage {
+		t.Errorf("err = %v, want ErrNoUsage", err)
+	}
+}
+
+func TestMultiResourceDeterministicAcrossRuns(t *testing.T) {
+	m, _ := NewMultiResource(multiCfg(t))
+	samples := make([]pvp.UsageSample, 60)
+	for i := range samples {
+		samples[i] = pvp.UsageSample{"cpu": 3.5, "mem_gib": 30}
+	}
+	cur := map[string]int{"cpu": 8, "mem_gib": 32}
+	a, err := m.Decide(cur, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Decide(cur, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dim := range a.Targets {
+		if a.Targets[dim] != b.Targets[dim] {
+			t.Fatalf("dimension %s nondeterministic", dim)
+		}
+	}
+}
+
+func TestStepsFor(t *testing.T) {
+	if stepsFor(8, 4) != 2 || stepsFor(9, 4) != 3 || stepsFor(1, 1) != 1 {
+		t.Error("stepsFor arithmetic wrong")
+	}
+}

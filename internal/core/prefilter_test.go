@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+
+	"caasper/internal/forecast"
+)
+
+// intervalStub returns a fixed point forecast with a controllable
+// interval width.
+type intervalStub struct {
+	point float64
+	width float64
+}
+
+func (s intervalStub) Name() string { return "interval-stub" }
+
+func (s intervalStub) Forecast(_ []float64, horizon int) ([]float64, error) {
+	out := make([]float64, horizon)
+	for i := range out {
+		out[i] = s.point
+	}
+	return out, nil
+}
+
+func (s intervalStub) ForecastInterval(_ []float64, horizon int) (point, lo, hi []float64, err error) {
+	point = make([]float64, horizon)
+	lo = make([]float64, horizon)
+	hi = make([]float64, horizon)
+	for i := range point {
+		point[i] = s.point
+		lo[i] = s.point - s.width
+		hi[i] = s.point + s.width
+	}
+	return point, lo, hi, nil
+}
+
+func TestUncertaintyPrefilterBlocksWideForecasts(t *testing.T) {
+	r := mustRecommender(t, 16)
+	p, err := NewProactive(r, intervalStub{point: 12, width: 100}, 20, 20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.MaxRelativeUncertainty = 0.5
+
+	// Observed usage is calm at 3 cores of 6; the forecast screams 12
+	// but with a huge interval — the prefilter must discard it.
+	hist := make([]float64, 60)
+	for i := range hist {
+		hist[i] = 3
+	}
+	d, used, err := p.Decide(6, hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used {
+		t.Error("wide-interval forecast should be prefiltered (reactive fallback)")
+	}
+	if d.Delta > 0 {
+		t.Errorf("prefiltered decision should not scale up: %+v", d)
+	}
+}
+
+func TestUncertaintyPrefilterPassesTightForecasts(t *testing.T) {
+	r := mustRecommender(t, 16)
+	p, err := NewProactive(r, intervalStub{point: 12, width: 0.5}, 20, 20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.MaxRelativeUncertainty = 0.5
+
+	hist := make([]float64, 60)
+	for i := range hist {
+		hist[i] = 3
+	}
+	d, used, err := p.Decide(6, hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !used {
+		t.Fatal("tight-interval forecast should pass the prefilter")
+	}
+	if d.Delta < 1 {
+		t.Errorf("confident 12-core forecast should scale up from 6: %+v", d)
+	}
+}
+
+func TestPrefilterDisabledByDefault(t *testing.T) {
+	// Zero MaxRelativeUncertainty: even an interval forecaster is used
+	// unconditionally (back-compatible with the paper's current system,
+	// which "does not consider the confidence values").
+	r := mustRecommender(t, 16)
+	p, err := NewProactive(r, intervalStub{point: 12, width: 100}, 20, 20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := make([]float64, 60)
+	for i := range hist {
+		hist[i] = 3
+	}
+	_, used, err := p.Decide(6, hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !used {
+		t.Error("prefilter must be off by default")
+	}
+}
+
+func TestPrefilterWithRealIntervalForecaster(t *testing.T) {
+	// End-to-end with IntervalSeasonalNaive: a stable cyclic history
+	// yields a confident forecast that passes the prefilter.
+	season := 120
+	var hist []float64
+	for rep := 0; rep < 3; rep++ {
+		for i := 0; i < season; i++ {
+			v := 2.0
+			if i >= 60 && i < 90 {
+				v = 9.0
+			}
+			hist = append(hist, v)
+		}
+	}
+	// Now at phase 50 of the cycle: the spike is 10 samples ahead.
+	hist = append(hist, make([]float64, 50)...)
+	for i := len(hist) - 50; i < len(hist); i++ {
+		hist[i] = 2.0
+	}
+
+	r := mustRecommender(t, 16)
+	p, err := NewProactive(r, forecast.NewIntervalSeasonalNaive(season), 30, 30, season)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.MaxRelativeUncertainty = 0.5
+	d, used, err := p.Decide(3, hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !used {
+		t.Fatal("stable seasonal history should pass the prefilter")
+	}
+	if d.Delta < 1 {
+		t.Errorf("forecasted spike should pre-scale: %+v", d)
+	}
+}

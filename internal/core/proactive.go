@@ -1,0 +1,120 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"caasper/internal/forecast"
+)
+
+// Proactive wraps a reactive Recommender with the forecast-extended input
+// preprocessing of §4.3 (Eq. 4, Figure 8): the decision window fed to
+// Algorithm 1 is the concatenation of the tail of the observed series
+// (length o_n − o_f) with a forecast of the next o_f samples. Until one
+// full seasonality period of history has accumulated, it operates purely
+// reactively (the paper's period₁ behaviour).
+type Proactive struct {
+	// Reactive is the underlying Algorithm 1 evaluator.
+	Reactive *Recommender
+	// Forecaster produces the predicted segment. Nil disables
+	// forecasting entirely (pure reactive mode).
+	Forecaster forecast.Forecaster
+	// ObservedWindow is o_n − o_f: how many recent observed samples
+	// enter the combined window (the paper uses e.g. the last 40
+	// minutes of CPU usage).
+	ObservedWindow int
+	// Horizon is o_f: how many samples ahead the forecaster projects
+	// (the paper's "scale-ahead window").
+	Horizon int
+	// MinHistory is the number of observed samples required before the
+	// proactive mode activates — one full seasonality period in the
+	// paper's Figure 8.
+	MinHistory int
+	// MaxRelativeUncertainty, when positive and the forecaster
+	// implements forecast.IntervalForecaster, enables the paper's §4.3
+	// planned confidence prefilter: if the forecast's relative
+	// uncertainty (mean interval half-width over mean forecast level)
+	// exceeds this bound, the prediction is discarded and the decision
+	// falls back to reactive. Zero disables the prefilter.
+	MaxRelativeUncertainty float64
+}
+
+// NewProactive builds a proactive wrapper with validation.
+func NewProactive(r *Recommender, f forecast.Forecaster, observedWindow, horizon, minHistory int) (*Proactive, error) {
+	if r == nil {
+		return nil, errors.New("core: nil reactive recommender")
+	}
+	if observedWindow < 1 {
+		return nil, fmt.Errorf("core: ObservedWindow %d must be ≥ 1", observedWindow)
+	}
+	if horizon < 0 {
+		return nil, fmt.Errorf("core: Horizon %d must be ≥ 0", horizon)
+	}
+	if minHistory < 0 {
+		return nil, fmt.Errorf("core: MinHistory %d must be ≥ 0", minHistory)
+	}
+	return &Proactive{
+		Reactive:       r,
+		Forecaster:     f,
+		ObservedWindow: observedWindow,
+		Horizon:        horizon,
+		MinHistory:     minHistory,
+	}, nil
+}
+
+// Decide evaluates Algorithm 1 on the combined observed+forecast window
+// (Eq. 4). history is the full observed usage series up to the decision
+// instant; the method slices its own windows. When the forecaster is nil,
+// errors, or the history is shorter than MinHistory, it degrades to the
+// reactive decision on the observed window — forecast failures must never
+// block scaling (R5: low-predictability workloads).
+//
+// The returned bool reports whether the forecast contributed.
+func (p *Proactive) Decide(currentCores int, history []float64) (Decision, bool, error) {
+	observed := tail(history, p.ObservedWindow)
+
+	if p.Forecaster == nil || p.Horizon == 0 || len(history) < p.MinHistory {
+		d, err := p.Reactive.Decide(currentCores, observed)
+		return d, false, err
+	}
+
+	var predicted []float64
+	var err error
+	if ivf, ok := p.Forecaster.(forecast.IntervalForecaster); ok && p.MaxRelativeUncertainty > 0 {
+		point, lo, hi, ferr := ivf.ForecastInterval(history, p.Horizon)
+		err = ferr
+		if err == nil {
+			if forecast.RelativeUncertainty(point, lo, hi) > p.MaxRelativeUncertainty {
+				// The prefilter of §4.3: a too-uncertain prediction is
+				// worse than none — stay reactive this tick.
+				d, rerr := p.Reactive.Decide(currentCores, observed)
+				return d, false, rerr
+			}
+			predicted = point
+		}
+	} else {
+		predicted, err = p.Forecaster.Forecast(history, p.Horizon)
+	}
+	if err != nil {
+		d, rerr := p.Reactive.Decide(currentCores, observed)
+		return d, false, rerr
+	}
+
+	combined := make([]float64, 0, len(observed)+len(predicted))
+	combined = append(combined, observed...)
+	combined = append(combined, predicted...)
+	d, err := p.Reactive.Decide(currentCores, combined)
+	if err != nil {
+		return d, false, err
+	}
+	d.Explanation = fmt.Sprintf("proactive[%s,+%d]: %s", p.Forecaster.Name(), p.Horizon, d.Explanation)
+	return d, true, nil
+}
+
+// tail returns the last n elements of xs (all of xs when shorter).
+func tail(xs []float64, n int) []float64 {
+	if len(xs) <= n {
+		return xs
+	}
+	return xs[len(xs)-n:]
+}

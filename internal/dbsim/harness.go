@@ -1,0 +1,201 @@
+package dbsim
+
+import (
+	"errors"
+	"time"
+
+	"caasper/internal/billing"
+	"caasper/internal/k8s"
+	"caasper/internal/recommend"
+	"caasper/internal/workload"
+)
+
+// HarnessOptions configures an end-to-end live-system run: the cluster,
+// the stateful set, the autoscaling loop cadence and the billing model.
+type HarnessOptions struct {
+	// Cluster hosts the set; nil defaults to the paper's small cluster.
+	Cluster *k8s.Cluster
+	// Replicas is the stateful-set size (3 for Database A, 2 for
+	// Database B in the paper).
+	Replicas int
+	// InitialCores is the starting whole-core limit.
+	InitialCores int
+	// MinCores / MaxCores are the scaler's safety bounds.
+	MinCores, MaxCores int
+	// MemGiBPerPod sizes pod memory (scheduling only; not billed).
+	MemGiBPerPod float64
+	// RestartSecondsPerPod is the per-pod rolling-update restart time
+	// (≈300 s for Database A's strict HA flow, ≈120 s for Database B).
+	RestartSecondsPerPod int64
+	// InPlaceResize enables the K8s in-place pod resize feature (paper
+	// §8 future work): resizes apply instantly with no restarts, no
+	// dropped connections and no failovers.
+	InPlaceResize bool
+	// DecisionEverySeconds is the scaler cadence (600 s in the paper's
+	// experiments).
+	DecisionEverySeconds int64
+	// BillingPeriod is the pay-as-you-go metering period.
+	BillingPeriod time.Duration
+	// DB configures the database service model.
+	DB Options
+}
+
+// DatabaseAOptions returns the paper's Database A setup: 3 replicas with
+// strict HA (5–15 minute resizes) on the small cluster.
+func DatabaseAOptions(initial, maxCores int) HarnessOptions {
+	return HarnessOptions{
+		Replicas:             3,
+		InitialCores:         initial,
+		MinCores:             2,
+		MaxCores:             maxCores,
+		MemGiBPerPod:         16,
+		RestartSecondsPerPod: 300,
+		DecisionEverySeconds: 600,
+		BillingPeriod:        time.Hour,
+		DB:                   DefaultOptions(),
+	}
+}
+
+// DatabaseBOptions returns the paper's Database B setup: 2 read-only
+// replicas with faster (3–5 minute) resizes.
+func DatabaseBOptions(initial, maxCores int) HarnessOptions {
+	o := DatabaseAOptions(initial, maxCores)
+	o.Replicas = 2
+	o.RestartSecondsPerPod = 120
+	// "we set it up read-only across the 2 replicas" (§6.1): reads are
+	// spread evenly, so half of them land on the secondary.
+	o.DB.SecondaryReadFraction = 0.5
+	return o
+}
+
+// LiveResult aggregates an end-to-end run: the database-level metrics of
+// Tables 1–2 plus the autoscaling metrics the simulator also reports,
+// enabling the §5 simulator-vs-live comparison.
+type LiveResult struct {
+	// DB is the transaction-level outcome.
+	DB Stats
+	// LimitsPerMinute is the set's whole-core limit each minute.
+	LimitsPerMinute []float64
+	// PrimaryUsagePerMinute is the primary's mean used cores per minute.
+	PrimaryUsagePerMinute []float64
+	// SumSlack / SumInsufficient are core-minutes of slack and clipped
+	// demand on the primary (K and C in the paper's metric terms).
+	SumSlack        float64
+	SumInsufficient float64
+	// NumScalings is the count of completed rolling updates.
+	NumScalings int
+	// Failovers is the count of primary hand-offs.
+	Failovers int
+	// BilledCorePeriods is the pay-as-you-go cost at unit price.
+	BilledCorePeriods float64
+	// DecisionSeries is the scaler's recommendation at each tick.
+	DecisionSeries []float64
+}
+
+// CostRatioVs returns cost(this)/cost(baseline).
+func (r *LiveResult) CostRatioVs(baseline *LiveResult) float64 {
+	if baseline.BilledCorePeriods == 0 {
+		return 0
+	}
+	return r.BilledCorePeriods / baseline.BilledCorePeriods
+}
+
+// SlackReductionVs returns the fractional slack reduction vs a baseline.
+func (r *LiveResult) SlackReductionVs(baseline *LiveResult) float64 {
+	if baseline.SumSlack == 0 {
+		return 0
+	}
+	return 1 - r.SumSlack/baseline.SumSlack
+}
+
+// RunLive executes the full Figure 1 loop for the schedule: load
+// generator → database pods → cgroup capping → metrics server →
+// recommender → scaler → operator rolling updates, with billing metered
+// on the set's limits. One tick is one second.
+func RunLive(sched *workload.LoadSchedule, rec recommend.Recommender, opts HarnessOptions) (*LiveResult, error) {
+	if sched == nil {
+		return nil, errors.New("dbsim: nil schedule")
+	}
+	if rec == nil {
+		return nil, errors.New("dbsim: nil recommender")
+	}
+	cluster := opts.Cluster
+	if cluster == nil {
+		cluster = k8s.SmallCluster()
+	}
+	set, err := k8s.NewStatefulSet("db", opts.Replicas, opts.InitialCores, opts.MemGiBPerPod, cluster)
+	if err != nil {
+		return nil, err
+	}
+	op, err := k8s.NewOperator(set, cluster, opts.RestartSecondsPerPod)
+	if err != nil {
+		return nil, err
+	}
+	op.InPlace = opts.InPlaceResize
+	ms := k8s.NewMetricsServer(60)
+	scaler, err := k8s.NewScaler(rec, op, ms, opts.DecisionEverySeconds, opts.MinCores, opts.MaxCores)
+	if err != nil {
+		return nil, err
+	}
+	db, err := New(set, sched, opts.DB)
+	if err != nil {
+		return nil, err
+	}
+	op.OnPodDown = db.OnPodDown
+
+	period := opts.BillingPeriod
+	if period == 0 {
+		period = time.Hour
+	}
+	meter, err := billing.NewMeter(1, period, time.Second)
+	if err != nil {
+		return nil, err
+	}
+
+	seconds := int64(sched.Duration / time.Second)
+	res := &LiveResult{}
+	var minuteLimit, minuteUsage float64
+	var lastThrottled, lastUsed float64
+
+	for now := int64(0); now < seconds; now++ {
+		op.Tick(now)
+		db.Tick(now, ms)
+		scaler.Tick(now)
+
+		limit := float64(set.CPULimit())
+		meter.Record(limit)
+
+		// Primary-side slack/insufficiency accounting (core-seconds).
+		if p := set.Primary(); p != nil {
+			dThrottled := p.ThrottledCPUSeconds - lastThrottled
+			dUsed := p.UsedCPUSeconds - lastUsed
+			// A failover switches pods; re-baseline on role change by
+			// detecting negative deltas.
+			if dThrottled < 0 || dUsed < 0 {
+				dThrottled, dUsed = 0, 0
+			}
+			lastThrottled = p.ThrottledCPUSeconds
+			lastUsed = p.UsedCPUSeconds
+			res.SumInsufficient += dThrottled / 60 // core-minutes
+			if slack := limit - dUsed; slack > 0 {
+				res.SumSlack += slack / 60
+			}
+			minuteUsage += dUsed
+		}
+		minuteLimit += limit
+
+		if (now+1)%60 == 0 {
+			res.LimitsPerMinute = append(res.LimitsPerMinute, minuteLimit/60)
+			res.PrimaryUsagePerMinute = append(res.PrimaryUsagePerMinute, minuteUsage/60)
+			minuteLimit, minuteUsage = 0, 0
+		}
+	}
+
+	meter.Flush()
+	res.DB = db.Stats()
+	res.NumScalings = op.ResizeCount
+	res.Failovers = op.FailoverCount
+	res.BilledCorePeriods = meter.BilledCorePeriods()
+	res.DecisionSeries = append([]float64(nil), scaler.DecisionSeries...)
+	return res, nil
+}

@@ -1,0 +1,184 @@
+package dbsim
+
+import (
+	"testing"
+	"time"
+
+	"caasper/internal/baselines"
+	"caasper/internal/core"
+	"caasper/internal/recommend"
+	"caasper/internal/workload"
+)
+
+func shortSchedule(seed uint64) *workload.LoadSchedule {
+	// A compressed workday: 30 min light, 60 min heavy, 30 min light.
+	light := workload.MixedOLTP()
+	heavy := workload.TPCHMix()
+	lightRate, _ := workload.RateForCores(light, 1.8)
+	heavyRate, _ := workload.RateForCores(heavy, 5.2)
+	rate := workload.Piecewise(
+		workload.Segment{Pattern: workload.Constant(lightRate), Minutes: 30},
+		workload.Segment{Pattern: workload.Constant(heavyRate), Minutes: 60},
+		workload.Segment{Pattern: workload.Constant(lightRate), Minutes: 30},
+	)
+	return &workload.LoadSchedule{
+		Name: "mini-workday",
+		Mix:  light,
+		Phases: []workload.MixPhase{
+			{Mix: light, Minutes: 30},
+			{Mix: heavy, Minutes: 60},
+			{Mix: light, Minutes: 30},
+		},
+		Rate:     rate,
+		Duration: 2 * time.Hour,
+	}
+}
+
+func TestRunLiveValidation(t *testing.T) {
+	rec := baselines.NewControl(4)
+	if _, err := RunLive(nil, rec, DatabaseAOptions(4, 8)); err == nil {
+		t.Error("nil schedule should fail")
+	}
+	if _, err := RunLive(shortSchedule(1), nil, DatabaseAOptions(4, 8)); err == nil {
+		t.Error("nil recommender should fail")
+	}
+	bad := DatabaseAOptions(4, 8)
+	bad.Replicas = 0
+	if _, err := RunLive(shortSchedule(1), rec, bad); err == nil {
+		t.Error("bad replicas should fail")
+	}
+}
+
+func TestRunLiveControl(t *testing.T) {
+	res, err := RunLive(shortSchedule(1), baselines.NewControl(6), DatabaseAOptions(6, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumScalings != 0 {
+		t.Errorf("control scalings = %d", res.NumScalings)
+	}
+	if res.DB.CompletedTxns == 0 {
+		t.Error("no transactions completed")
+	}
+	if res.DB.DroppedTxns > res.DB.CompletedTxns*0.01 {
+		t.Errorf("control run dropped %v of %v txns", res.DB.DroppedTxns, res.DB.CompletedTxns)
+	}
+	// 2 hours at 6 cores = 12 billed core-hours.
+	if res.BilledCorePeriods != 12 {
+		t.Errorf("billed = %v, want 12", res.BilledCorePeriods)
+	}
+	if len(res.LimitsPerMinute) != 120 {
+		t.Errorf("minutes = %d", len(res.LimitsPerMinute))
+	}
+	if res.SumSlack <= 0 {
+		t.Error("control run should have slack")
+	}
+}
+
+func TestRunLiveCaaSPERScalesAndSaves(t *testing.T) {
+	sched := shortSchedule(2)
+	control, err := RunLive(sched, baselines.NewControl(6), DatabaseAOptions(6, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := core.DefaultConfig(6)
+	rec, err := recommend.NewCaaSPERReactive(cfg, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DatabaseAOptions(2, 6)
+	opts.RestartSecondsPerPod = 120 // compressed run: faster resizes
+	res, err := RunLive(sched, rec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumScalings == 0 {
+		t.Fatal("CaaSPER never scaled")
+	}
+	// It must scale up for the heavy phase...
+	peak := 0.0
+	for _, l := range res.LimitsPerMinute {
+		if l > peak {
+			peak = l
+		}
+	}
+	if peak < 5.5 {
+		t.Errorf("peak limit = %v, want ≥6 for the heavy phase", peak)
+	}
+	// ...and cost less than the control.
+	if ratio := res.CostRatioVs(control); ratio >= 1 {
+		t.Errorf("cost ratio = %v, want < 1", ratio)
+	}
+	// Throughput within a few percent of control (retries enabled).
+	if res.DB.CompletedTxns < control.DB.CompletedTxns*0.9 {
+		t.Errorf("throughput %v vs control %v", res.DB.CompletedTxns, control.DB.CompletedTxns)
+	}
+	// Slack reduced.
+	if red := res.SlackReductionVs(control); red <= 0 {
+		t.Errorf("slack reduction = %v", red)
+	}
+	// Rolling updates imply at least one failover (primary restart).
+	if res.Failovers == 0 {
+		t.Error("expected at least one failover across resizes")
+	}
+}
+
+func TestRunLiveDeterminism(t *testing.T) {
+	sched := shortSchedule(3)
+	mk := func() *LiveResult {
+		rec, err := recommend.NewCaaSPERReactive(core.DefaultConfig(6), 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunLive(sched, rec, DatabaseAOptions(3, 6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := mk(), mk()
+	if a.DB.CompletedTxns != b.DB.CompletedTxns || a.NumScalings != b.NumScalings ||
+		a.BilledCorePeriods != b.BilledCorePeriods {
+		t.Error("live runs must be deterministic")
+	}
+	for i := range a.DecisionSeries {
+		if a.DecisionSeries[i] != b.DecisionSeries[i] {
+			t.Fatal("decision series diverged")
+		}
+	}
+}
+
+func TestDatabaseOptionPresets(t *testing.T) {
+	a := DatabaseAOptions(4, 8)
+	if a.Replicas != 3 || a.RestartSecondsPerPod != 300 {
+		t.Errorf("Database A preset: %+v", a)
+	}
+	// Full resize ≈ 15 min: within the paper's 5–15 minute window.
+	if total := a.RestartSecondsPerPod * int64(a.Replicas); total != 900 {
+		t.Errorf("Database A resize = %ds", total)
+	}
+	b := DatabaseBOptions(4, 8)
+	if b.Replicas != 2 || b.RestartSecondsPerPod != 120 {
+		t.Errorf("Database B preset: %+v", b)
+	}
+	// Full resize ≈ 4 min: within the 3–5 minute window.
+	if total := b.RestartSecondsPerPod * int64(b.Replicas); total != 240 {
+		t.Errorf("Database B resize = %ds", total)
+	}
+}
+
+func TestLiveResultRatios(t *testing.T) {
+	a := &LiveResult{BilledCorePeriods: 30, SumSlack: 25}
+	b := &LiveResult{BilledCorePeriods: 60, SumSlack: 100}
+	if got := a.CostRatioVs(b); got != 0.5 {
+		t.Errorf("cost ratio = %v", got)
+	}
+	if got := a.SlackReductionVs(b); got != 0.75 {
+		t.Errorf("slack reduction = %v", got)
+	}
+	zero := &LiveResult{}
+	if a.CostRatioVs(zero) != 0 || a.SlackReductionVs(zero) != 0 {
+		t.Error("zero baseline should yield 0")
+	}
+}

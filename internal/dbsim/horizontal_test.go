@@ -1,0 +1,119 @@
+package dbsim
+
+import (
+	"testing"
+	"time"
+
+	"caasper/internal/k8s"
+	"caasper/internal/workload"
+)
+
+func writeHeavySchedule(cores float64, d time.Duration) *workload.LoadSchedule {
+	sched, err := workload.ScheduleForCores("write-heavy", workload.TPCCMix(),
+		workload.Constant(cores), d)
+	if err != nil {
+		panic(err)
+	}
+	return sched
+}
+
+func TestRunHorizontalValidation(t *testing.T) {
+	sched := writeHeavySchedule(4, time.Hour)
+	if _, err := RunHorizontal(nil, DefaultHorizontalOptions(2, 6)); err == nil {
+		t.Error("nil schedule should fail")
+	}
+	bad := DefaultHorizontalOptions(2, 6)
+	bad.MaxReplicas = 1 // below the 3 initial replicas
+	if _, err := RunHorizontal(sched, bad); err == nil {
+		t.Error("MaxReplicas below initial should fail")
+	}
+	bad = DefaultHorizontalOptions(2, 6)
+	bad.UtilizationHigh = 0
+	if _, err := RunHorizontal(sched, bad); err == nil {
+		t.Error("zero utilization threshold should fail")
+	}
+	bad = DefaultHorizontalOptions(2, 6)
+	bad.DecisionEverySeconds = 0
+	if _, err := RunHorizontal(sched, bad); err == nil {
+		t.Error("zero cadence should fail")
+	}
+}
+
+func TestRunHorizontalAddsReplicasUnderLoad(t *testing.T) {
+	// 4 cores of write demand against 2-core pods: the primary runs hot
+	// and the HPA scales out to its ceiling.
+	sched := writeHeavySchedule(4, 4*time.Hour)
+	opts := DefaultHorizontalOptions(2, 6)
+	opts.Harness.DB.Retry = false
+	res, err := RunHorizontal(sched, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumScalings == 0 {
+		t.Fatal("HPA never scaled out")
+	}
+	if res.NumScalings > 3 {
+		t.Errorf("scale-outs = %d, ceiling is 6 replicas from 3", res.NumScalings)
+	}
+	// The structural failure: the primary still throttles heavily and
+	// throughput stays capped near the primary's share.
+	if res.SumInsufficient < 100 {
+		t.Errorf("primary insufficient = %v, want heavy throttling despite replicas", res.SumInsufficient)
+	}
+	// Billing grew with the replica count.
+	flatCost := 3.0 * 2 * 4 // replicas × cores × hours
+	if res.BilledCorePeriods <= flatCost {
+		t.Errorf("billed = %v, want > flat %v (added replicas bill)", res.BilledCorePeriods, flatCost)
+	}
+}
+
+func TestRunHorizontalIdleWorkloadStaysPut(t *testing.T) {
+	sched := writeHeavySchedule(0.5, 2*time.Hour)
+	opts := DefaultHorizontalOptions(2, 6)
+	res, err := RunHorizontal(sched, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumScalings != 0 {
+		t.Errorf("idle workload scaled out %d times", res.NumScalings)
+	}
+	// 3 replicas × 2 cores × 2 hours = 12 core-hours.
+	if res.BilledCorePeriods != 12 {
+		t.Errorf("billed = %v, want 12", res.BilledCorePeriods)
+	}
+}
+
+func TestAddReplicaSeedsBeforeServing(t *testing.T) {
+	// Direct substrate check: a scale-out pod serves nothing until its
+	// seed completes, then participates in read traffic.
+	mix := workload.Mix{{Class: workload.TxnClass{Name: "r", CPUSeconds: 0.01, Write: false}, Weight: 1}}
+	sched := &workload.LoadSchedule{
+		Name: "reads", Mix: mix, Rate: workload.Constant(400), Duration: time.Hour,
+	}
+	opts := DefaultOptions()
+	opts.SecondaryReadFraction = 0.5
+	db, set, cluster := newTestDB(t, 2, 4, sched, opts)
+
+	p, err := set.AddReplica(cluster, 4, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Running() {
+		t.Fatal("seeding replica must not be running")
+	}
+	for now := int64(0); now < 120; now++ {
+		db.Tick(now, nil)
+	}
+	if p.UsedCPUSeconds != 0 {
+		t.Errorf("seeding replica consumed %v CPU", p.UsedCPUSeconds)
+	}
+	// Seed completes; the replica starts serving reads.
+	p.Phase = k8s.PhaseRunning
+	db.TrackReplica(p)
+	for now := int64(120); now < 600; now++ {
+		db.Tick(now, nil)
+	}
+	if p.UsedCPUSeconds == 0 {
+		t.Error("seeded replica never served")
+	}
+}

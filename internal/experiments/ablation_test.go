@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationInPlaceShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-loop ablation")
+	}
+	res, err := AblationInPlace(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's footnote-10 claim: with in-place resizes, no failed
+	// (interrupted) transactions and no failovers.
+	if res.InPlace.DB.InterruptedTxns != 0 {
+		t.Errorf("in-place interrupted = %v, want 0", res.InPlace.DB.InterruptedTxns)
+	}
+	if res.InPlace.Failovers != 0 {
+		t.Errorf("in-place failovers = %d, want 0", res.InPlace.Failovers)
+	}
+	// Rolling updates do interrupt work.
+	if res.Rolling.DB.InterruptedTxns <= 0 {
+		t.Error("rolling updates should interrupt some transactions")
+	}
+	// In-place reacts immediately, so throttling (insufficient CPU)
+	// should not exceed the rolling path's.
+	if res.InPlace.SumInsufficient > res.Rolling.SumInsufficient+1e-9 {
+		t.Errorf("in-place insufficient %v should be ≤ rolling %v",
+			res.InPlace.SumInsufficient, res.Rolling.SumInsufficient)
+	}
+	if !strings.Contains(res.Report, "in-place") {
+		t.Error("report missing")
+	}
+}
+
+func TestAblationHorizonShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("horizon sweep")
+	}
+	res, err := AblationHorizon(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Rows[0].HorizonMinutes != 0 {
+		t.Error("first row should be pure reactive")
+	}
+	// The longest horizon should throttle no more than pure reactive
+	// (scale-ahead is the whole point).
+	last := res.Rows[len(res.Rows)-1]
+	if last.SumInsufficient > res.Rows[0].SumInsufficient+1e-9 {
+		t.Errorf("120m horizon insufficient %v > reactive %v",
+			last.SumInsufficient, res.Rows[0].SumInsufficient)
+	}
+	if !strings.Contains(res.Report, "horizon") {
+		t.Error("report missing")
+	}
+}
+
+func TestAblationPrefilterShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("prefilter sweep")
+	}
+	res, err := AblationPrefilter(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both configurations must complete; the prefiltered run should not
+	// carry more slack than the unfiltered one (it discards the
+	// outlier-inflated forecasts that cause over-provisioning).
+	if res.With.SumSlack > res.Without.SumSlack*1.05 {
+		t.Errorf("prefilter slack %v should not exceed unfiltered %v",
+			res.With.SumSlack, res.Without.SumSlack)
+	}
+	if !strings.Contains(res.Report, "prefilter") {
+		t.Error("report missing")
+	}
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment tests assert the paper's *shapes*: who wins, by roughly
+// what factor, where the crossovers fall. Absolute values are substrate-
+// dependent and recorded in EXPERIMENTS.md instead.
+
+func TestTableFormatting(t *testing.T) {
+	tb := NewTable("title", "a", "bb")
+	tb.AddRow(1, 2.5)
+	tb.AddRow("xxx", 12345.6)
+	s := tb.String()
+	if !strings.Contains(s, "title") || !strings.Contains(s, "bb") {
+		t.Errorf("table = %q", s)
+	}
+	if !strings.Contains(s, "12346") {
+		t.Errorf("large floats should render as integers: %q", s)
+	}
+	if pct(0.5) != "50.0%" {
+		t.Errorf("pct = %q", pct(0.5))
+	}
+	if ratio(0.74) != "0.74x" {
+		t.Errorf("ratio = %q", ratio(0.74))
+	}
+	if formatFloat(0) != "0" || formatFloat(15) != "15.0" {
+		t.Error("formatFloat edge cases")
+	}
+}
+
+func TestFigure3Shapes(t *testing.T) {
+	res, err := Figure3(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Control: no scaling, large slack, no throttling.
+	if res.Control.NumScalings != 0 || res.Control.SumInsufficient != 0 {
+		t.Errorf("control: %s", res.Control)
+	}
+	// VPA reduces slack but less than CaaSPER (paper: 61% vs 78.3%).
+	if res.VPASlackReduction < 0.3 {
+		t.Errorf("VPA slack reduction = %v, want substantial", res.VPASlackReduction)
+	}
+	if res.CaaSPERSlackReduction <= res.VPASlackReduction {
+		t.Errorf("CaaSPER (%v) should beat VPA (%v) on slack",
+			res.CaaSPERSlackReduction, res.VPASlackReduction)
+	}
+	if res.CaaSPERSlackReduction < 0.6 || res.CaaSPERSlackReduction > 0.95 {
+		t.Errorf("CaaSPER slack reduction = %v, paper ≈0.783", res.CaaSPERSlackReduction)
+	}
+	// OpenShift gets trapped (paper: throughput restricted to ~27%).
+	if res.OpenShiftThroughput > 0.6 {
+		t.Errorf("OpenShift throughput = %v, want trapped low", res.OpenShiftThroughput)
+	}
+	// CaaSPER maintains 90-100% throughput.
+	if res.CaaSPERThroughput < 0.9 {
+		t.Errorf("CaaSPER throughput = %v, want ≥0.9", res.CaaSPERThroughput)
+	}
+	// OpenShift oscillates near the floor (paper: between 2 and 3).
+	maxOS := 0.0
+	for _, l := range res.OpenShift.Limits {
+		if l > maxOS {
+			maxOS = l
+		}
+	}
+	if maxOS > 4 {
+		t.Errorf("OpenShift limits reached %v, want pinned near 2-3", maxOS)
+	}
+	if !strings.Contains(res.Report, "Figure 3") {
+		t.Error("report missing")
+	}
+}
+
+func TestFigure4Shapes(t *testing.T) {
+	res, err := Figure4(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A hard 3-core cap produces the max slope and a decisive jump.
+	if res.Slope <= 2 {
+		t.Errorf("slope = %v, want steep", res.Slope)
+	}
+	if res.TargetCores < 5 || res.TargetCores > 8 {
+		t.Errorf("target = %d, paper scales 3 -> 6", res.TargetCores)
+	}
+	if res.RawSF < 2 {
+		t.Errorf("raw SF = %v, paper ≈3.73", res.RawSF)
+	}
+	if res.PostScaleThrottled && res.TargetCores >= 6 {
+		t.Error("6+ cores should clear the ~6-core demand")
+	}
+	if res.Report == "" {
+		t.Error("report missing")
+	}
+}
+
+func TestFigure5Shapes(t *testing.T) {
+	res, err := Figure5(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThrottledSlope < 2 {
+		t.Errorf("throttled slope = %v, want steep", res.ThrottledSlope)
+	}
+	if res.HealthySlope >= res.ThrottledSlope {
+		t.Errorf("healthy slope %v should be flatter than throttled %v",
+			res.HealthySlope, res.ThrottledSlope)
+	}
+	if res.HealthySlope < 0 {
+		t.Errorf("healthy slope = %v", res.HealthySlope)
+	}
+	if res.Report == "" {
+		t.Error("report missing")
+	}
+}
+
+func TestFigure6Shapes(t *testing.T) {
+	res := Figure6()
+	if len(res.Slopes) != len(res.Factors) || len(res.Slopes) < 2 {
+		t.Fatal("bad curve lengths")
+	}
+	// Monotone increasing with decelerating increments (log decay).
+	for i := 1; i < len(res.Factors); i++ {
+		if res.Factors[i] < res.Factors[i-1] {
+			t.Fatal("SF not monotone")
+		}
+	}
+	d1 := res.Factors[1] - res.Factors[0]
+	dLast := res.Factors[len(res.Factors)-1] - res.Factors[len(res.Factors)-2]
+	if dLast >= d1 {
+		t.Errorf("SF increments should decay: first %v, last %v", d1, dLast)
+	}
+	if res.Report == "" {
+		t.Error("report missing")
+	}
+}
+
+func TestFigure7Shapes(t *testing.T) {
+	res, err := Figure7(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UnderSlope <= 0 {
+		t.Errorf("under-provisioned slope = %v, want positive", res.UnderSlope)
+	}
+	if res.OverSlope != 0 {
+		t.Errorf("over-provisioned slope = %v, want flat 0", res.OverSlope)
+	}
+	// Paper: walk-down by "almost 8 cores" from 12.
+	if res.WalkDownDelta > -5 {
+		t.Errorf("walk-down delta = %d, want a large drop", res.WalkDownDelta)
+	}
+	if res.Report == "" {
+		t.Error("report missing")
+	}
+}

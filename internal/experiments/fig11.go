@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"caasper/internal/baselines"
+	"caasper/internal/core"
+	"caasper/internal/dbsim"
+	"caasper/internal/k8s"
+	"caasper/internal/recommend"
+	"caasper/internal/workload"
+)
+
+// Figure11Result holds the §6.2 recreated-customer-trace evaluation
+// (Figure 11 / Table 2): a Stitcher-recreated Database A workload bounded
+// to 6 cores, run under a prefer-performance and a prefer-savings tuning,
+// with throttled transactions NOT retried.
+type Figure11Result struct {
+	Control, PreferPerf, PreferSavings *dbsim.LiveResult
+	// PerfCostRatio / SavingsCostRatio vs control (paper: 0.74x total
+	// and ~0.49x total).
+	PerfCostRatio, SavingsCostRatio float64
+	// PerfThroughputRatio / SavingsThroughputRatio vs control (paper:
+	// 1.0 and 0.9 — "saving half the cost shows only a 10% throughput
+	// impact").
+	PerfThroughputRatio, SavingsThroughputRatio float64
+	Report                                      string
+}
+
+// Figure11Table2 reproduces Figure 11 and Table 2. The customer trace is
+// recreated Stitcher-style from benchmark mixes; the two CaaSPER runs are
+// tuned per §5 for the two customer preferences: the performance tuning
+// holds a 4-core floor and a generous head-room buffer, the savings
+// tuning allows the mandatory 2-core minimum and trims slack aggressively.
+func Figure11Table2(seed uint64) (*Figure11Result, error) {
+	source := workload.CustomerTrace(seed)
+	stitched, err := workload.Stitch(source, 30*time.Minute)
+	if err != nil {
+		return nil, err
+	}
+	sched := stitched.Schedule()
+
+	// §6.2: the small cluster "had other customer-required services
+	// running, bounding the limits to a max of 6 cores". Co-tenant pods
+	// occupy 2 cores of each 8-core node, so a replica can never grow
+	// past 6 — the bound emerges from capacity, and the scaler's clamp
+	// matches it.
+	const maxCores = 6
+	mkOpts := func() (dbsim.HarnessOptions, error) {
+		cluster := k8s.SmallCluster()
+		if err := k8s.AddCoTenants(cluster, 6, 2, 8); err != nil {
+			return dbsim.HarnessOptions{}, err
+		}
+		o := dbsim.DatabaseAOptions(maxCores, maxCores)
+		o.Cluster = cluster
+		o.DB.Retry = false // §6.2: throttled txns not retried
+		return o, nil
+	}
+
+	ctrlOpts, err := mkOpts()
+	if err != nil {
+		return nil, err
+	}
+	control, err := dbsim.RunLive(sched, baselines.NewControl(maxCores), ctrlOpts)
+	if err != nil {
+		return nil, fmt.Errorf("control: %w", err)
+	}
+
+	// Prefer performance: 4-core floor, thick buffer, fast scale-up.
+	perfCfg := core.DefaultConfig(maxCores)
+	perfCfg.MinCores = 4
+	perfCfg.SlackHigh = 0.20
+	perfCfg.SlackLow = 0.15
+	perfCfg.MaxStepUp = maxCores
+	perfRec, err := recommend.NewCaaSPERReactive(perfCfg, 30)
+	if err != nil {
+		return nil, err
+	}
+	perfOpts, err := mkOpts()
+	if err != nil {
+		return nil, err
+	}
+	perf, err := dbsim.RunLive(sched, perfRec, perfOpts)
+	if err != nil {
+		return nil, fmt.Errorf("prefer-perf: %w", err)
+	}
+
+	// Prefer savings: 2-core floor, thin buffer, eager scale-down.
+	saveCfg := core.DefaultConfig(maxCores)
+	saveCfg.MinCores = 2
+	saveCfg.SlackHigh = 0.05
+	saveCfg.SlackLow = 0.45
+	saveCfg.MaxStepDown = 4
+	saveRec, err := recommend.NewCaaSPERReactive(saveCfg, 60)
+	if err != nil {
+		return nil, err
+	}
+	saveOpts, err := mkOpts()
+	if err != nil {
+		return nil, err
+	}
+	savings, err := dbsim.RunLive(sched, saveRec, saveOpts)
+	if err != nil {
+		return nil, fmt.Errorf("prefer-savings: %w", err)
+	}
+
+	res := &Figure11Result{
+		Control:       control,
+		PreferPerf:    perf,
+		PreferSavings: savings,
+	}
+	res.PerfCostRatio = perf.CostRatioVs(control)
+	res.SavingsCostRatio = savings.CostRatioVs(control)
+	if control.DB.CompletedTxns > 0 {
+		res.PerfThroughputRatio = perf.DB.CompletedTxns / control.DB.CompletedTxns
+		res.SavingsThroughputRatio = savings.DB.CompletedTxns / control.DB.CompletedTxns
+	}
+
+	tb := NewTable("Figure 11 / Table 2 (recreated customer trace, no txn retry, 6-core max)",
+		"run", "total thrpt (txns)", "thrpt vs ctrl", "avg lat ms", "med lat ms", "total price")
+	tb.AddRow("control", control.DB.CompletedTxns, "1.00x", control.DB.AvgLatencyMS, control.DB.MedLatencyMS, "1.00x")
+	tb.AddRow("caasper: prefer perf", perf.DB.CompletedTxns, ratio(res.PerfThroughputRatio),
+		perf.DB.AvgLatencyMS, perf.DB.MedLatencyMS, ratio(res.PerfCostRatio))
+	tb.AddRow("caasper: prefer savings", savings.DB.CompletedTxns, ratio(res.SavingsThroughputRatio),
+		savings.DB.AvgLatencyMS, savings.DB.MedLatencyMS, ratio(res.SavingsCostRatio))
+	var b strings.Builder
+	b.WriteString(tb.String())
+	fmt.Fprintf(&b, "paper: perf-preferred matches control throughput at 0.74x price; savings completes 10%% fewer txns at ~0.49x price\n")
+	res.Report = b.String()
+	return res, nil
+}

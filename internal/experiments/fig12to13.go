@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"caasper/internal/sim"
+	"caasper/internal/tuning"
+	"caasper/internal/workload"
+)
+
+// Figure12Result holds the §6.3 parameter-tuning scatter (Figure 12):
+// random parameter combinations evaluated on the cyclical trace, the
+// Pareto frontier over (slack, throttling), and the reactive/proactive
+// split the paper color-codes.
+type Figure12Result struct {
+	// Evaluations are all sampled combinations.
+	Evaluations []tuning.Evaluation
+	// Frontier is the Pareto-optimal subset (the red × points).
+	Frontier []tuning.Evaluation
+	// ReactiveCount / ProactiveCount split the sample (green vs blue).
+	ReactiveCount, ProactiveCount int
+	// ProactiveMeanK and ReactiveMeanK compare slack across the two
+	// groups (paper: predictive runs sit at higher slack, lower
+	// throttling).
+	ProactiveMeanK, ReactiveMeanK float64
+	ProactiveMeanC, ReactiveMeanC float64
+	Report                        string
+}
+
+// Figure12 reproduces the tuning scatter on the Figure 10 workload.
+// samples is the number of random combinations; the paper uses 5000 (use
+// fewer for quick runs — the bench harness sweeps both).
+func Figure12(seed uint64, samples int) (*Figure12Result, error) {
+	tr := workload.Cyclical3Day(seed)
+	simOpts := sim.DefaultOptions(14, 14)
+	// Database B resizes complete in 3–5 minutes.
+	simOpts.ResizeDelayMinutes = 4
+
+	evals, err := tuning.RandomSearch(tr, tuning.SearchOptions{
+		Samples:       samples,
+		Seed:          seed + 1,
+		Sim:           &simOpts,
+		SeasonMinutes: 24 * 60,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure12Result{
+		Evaluations: evals,
+		Frontier:    tuning.ParetoFrontier(evals),
+	}
+	var kR, kP, cR, cP float64
+	for _, e := range evals {
+		if e.Params.Proactive() {
+			res.ProactiveCount++
+			kP += e.K
+			cP += e.C
+		} else {
+			res.ReactiveCount++
+			kR += e.K
+			cR += e.C
+		}
+	}
+	if res.ProactiveCount > 0 {
+		res.ProactiveMeanK = kP / float64(res.ProactiveCount)
+		res.ProactiveMeanC = cP / float64(res.ProactiveCount)
+	}
+	if res.ReactiveCount > 0 {
+		res.ReactiveMeanK = kR / float64(res.ReactiveCount)
+		res.ReactiveMeanC = cR / float64(res.ReactiveCount)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 12 — slack vs throttling over %d random parameter combinations\n", len(evals))
+	fmt.Fprintf(&b, "reactive:  n=%d  mean K=%.0f  mean C=%.0f\n", res.ReactiveCount, res.ReactiveMeanK, res.ReactiveMeanC)
+	fmt.Fprintf(&b, "proactive: n=%d  mean K=%.0f  mean C=%.0f\n", res.ProactiveCount, res.ProactiveMeanK, res.ProactiveMeanC)
+	tb := NewTable("Pareto frontier (red x points)", "K (sum slack)", "C (sum insufficient)", "N (scalings)", "mode")
+	for _, e := range res.Frontier {
+		mode := "reactive"
+		if e.Params.Proactive() {
+			mode = "proactive"
+		}
+		tb.AddRow(e.K, e.C, e.N, mode)
+	}
+	b.WriteString(tb.String())
+	fmt.Fprintf(&b, "paper: clear K-vs-C trade-off; predictive runs have higher slack and lower throttling\n")
+	res.Report = b.String()
+	return res, nil
+}
+
+// Figure13Result holds the α-sweep drill-down of Figure 13: the
+// G-optimal combination for each α, showing slack shrinking and
+// throttling growing as α (the slack penalty) rises.
+type Figure13Result struct {
+	// Alphas are the sampled coefficients (the paper displays 0, 0.063,
+	// 0.447 and 2.28).
+	Alphas []float64
+	// Chosen is the G-optimal evaluation per α.
+	Chosen []tuning.Evaluation
+	Report string
+}
+
+// Figure13 reproduces the α drill-down over the Figure 12 search results.
+func Figure13(fig12 *Figure12Result) (*Figure13Result, error) {
+	alphas := []float64{0, 0.063, 0.447, 2.28}
+	res := &Figure13Result{Alphas: alphas}
+	tb := NewTable("Figure 13 — G-optimal parameter choice per alpha",
+		"alpha", "K (sum slack)", "C (sum insufficient)", "N", "params")
+	for _, a := range alphas {
+		best, err := tuning.BestForAlpha(a, fig12.Evaluations)
+		if err != nil {
+			return nil, err
+		}
+		res.Chosen = append(res.Chosen, best)
+		tb.AddRow(a, best.K, best.C, best.N, best.Params.String())
+	}
+	var b strings.Builder
+	b.WriteString(tb.String())
+	fmt.Fprintf(&b, "paper: as alpha increases, slack diminishes and throttling rises\n")
+	res.Report = b.String()
+	return res, nil
+}

@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Live-loop experiment tests. These run multi-hour simulated workloads at
+// one-second resolution; they are the slowest tests in the repository but
+// each completes in seconds of wall time.
+
+func TestFigure9Table1Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-loop experiment")
+	}
+	res, err := Figure9Table1(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Control never scales; CaaSPER scales a handful of times (paper: 3).
+	if res.Control.NumScalings != 0 {
+		t.Errorf("control scalings = %d", res.Control.NumScalings)
+	}
+	if res.Resizes < 2 || res.Resizes > 8 {
+		t.Errorf("CaaSPER resizes = %d, paper ≈3", res.Resizes)
+	}
+	// Price below control (paper: 0.85x).
+	if res.CostRatio >= 1 || res.CostRatio < 0.5 {
+		t.Errorf("cost ratio = %v, paper 0.85x", res.CostRatio)
+	}
+	// Slack substantially reduced (paper: 39.6%).
+	if res.SlackReduction < 0.2 {
+		t.Errorf("slack reduction = %v, paper 0.396", res.SlackReduction)
+	}
+	// Throughput within a few percent of control.
+	if res.CaaSPER.DB.CompletedTxns < res.Control.DB.CompletedTxns*0.93 {
+		t.Errorf("throughput %v vs control %v",
+			res.CaaSPER.DB.CompletedTxns, res.Control.DB.CompletedTxns)
+	}
+	// Resizes interrupt a tiny number of transactions (paper: ~1 per
+	// resize, dropped and retried).
+	if res.CaaSPER.DB.InterruptedTxns <= 0 {
+		t.Error("resizes should interrupt some transactions")
+	}
+	if res.CaaSPER.DB.InterruptedTxns > res.CaaSPER.DB.CompletedTxns*0.01 {
+		t.Errorf("interrupted %v of %v txns — too disruptive",
+			res.CaaSPER.DB.InterruptedTxns, res.CaaSPER.DB.CompletedTxns)
+	}
+	if !strings.Contains(res.Report, "Figure 9") {
+		t.Error("report missing")
+	}
+}
+
+func TestFigure10Table1Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-loop experiment")
+	}
+	res, err := Figure10Table1(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both CaaSPER modes cost roughly half the control (paper: 0.57y /
+	// 0.56y), with proactive at or below reactive.
+	if res.ReactiveCostRatio >= 0.85 {
+		t.Errorf("reactive cost ratio = %v, paper 0.57", res.ReactiveCostRatio)
+	}
+	if res.ProactiveCostRatio > res.ReactiveCostRatio+0.02 {
+		t.Errorf("proactive (%v) should not cost more than reactive (%v)",
+			res.ProactiveCostRatio, res.ReactiveCostRatio)
+	}
+	// Slack reductions in the paper's band (66.5% / 68.2%).
+	if res.ReactiveSlackReduction < 0.45 {
+		t.Errorf("reactive slack reduction = %v", res.ReactiveSlackReduction)
+	}
+	if res.ProactiveSlackReduction < res.ReactiveSlackReduction-0.05 {
+		t.Errorf("proactive slack reduction %v should be ≥ reactive %v",
+			res.ProactiveSlackReduction, res.ReactiveSlackReduction)
+	}
+	// Throughput preserved within noise.
+	if res.Reactive.DB.CompletedTxns < res.Control.DB.CompletedTxns*0.95 {
+		t.Errorf("reactive throughput %v vs control %v",
+			res.Reactive.DB.CompletedTxns, res.Control.DB.CompletedTxns)
+	}
+	if res.Proactive.DB.CompletedTxns < res.Control.DB.CompletedTxns*0.95 {
+		t.Errorf("proactive throughput %v vs control %v",
+			res.Proactive.DB.CompletedTxns, res.Control.DB.CompletedTxns)
+	}
+	if !strings.Contains(res.Report, "Figure 10") {
+		t.Error("report missing")
+	}
+}
+
+func TestFigure11Table2Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-loop experiment")
+	}
+	res, err := Figure11Table2(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prefer-performance: throughput ≈ control at a lower price
+	// (paper: same txns, 0.74x price).
+	if res.PerfThroughputRatio < 0.97 {
+		t.Errorf("perf throughput ratio = %v, want ≈1", res.PerfThroughputRatio)
+	}
+	if res.PerfCostRatio >= 1 {
+		t.Errorf("perf cost ratio = %v, want < 1 (paper 0.74)", res.PerfCostRatio)
+	}
+	// Prefer-savings: cheaper than perf, modest throughput loss
+	// (paper: 0.49x price, 10% fewer txns).
+	if res.SavingsCostRatio >= res.PerfCostRatio {
+		t.Errorf("savings cost %v should undercut perf %v",
+			res.SavingsCostRatio, res.PerfCostRatio)
+	}
+	if res.SavingsThroughputRatio < 0.75 || res.SavingsThroughputRatio > 1.0 {
+		t.Errorf("savings throughput ratio = %v, paper ≈0.9", res.SavingsThroughputRatio)
+	}
+	if res.SavingsThroughputRatio >= res.PerfThroughputRatio+0.01 {
+		t.Error("savings should not out-perform the perf tuning")
+	}
+	if !strings.Contains(res.Report, "Table 2") {
+		t.Error("report missing")
+	}
+}
+
+func TestFigure12And13Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tuning sweep")
+	}
+	fig12, err := Figure12(1, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig12.Evaluations) < 100 {
+		t.Fatalf("evaluations = %d", len(fig12.Evaluations))
+	}
+	if len(fig12.Frontier) < 2 {
+		t.Errorf("frontier = %d points", len(fig12.Frontier))
+	}
+	if fig12.ReactiveCount == 0 || fig12.ProactiveCount == 0 {
+		t.Error("both modes should be sampled")
+	}
+	// Frontier is a staircase: K ascending, C strictly descending.
+	for i := 1; i < len(fig12.Frontier); i++ {
+		if fig12.Frontier[i].C >= fig12.Frontier[i-1].C {
+			t.Fatal("frontier not strictly improving in C")
+		}
+	}
+
+	fig13, err := Figure13(fig12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig13.Chosen) != 4 {
+		t.Fatalf("chosen = %d", len(fig13.Chosen))
+	}
+	// As α rises, slack K must not rise and throttling C must not fall.
+	for i := 1; i < len(fig13.Chosen); i++ {
+		if fig13.Chosen[i].K > fig13.Chosen[i-1].K+1e-9 {
+			t.Errorf("α sweep: K rose at step %d", i)
+		}
+		if fig13.Chosen[i].C < fig13.Chosen[i-1].C-1e-9 {
+			t.Errorf("α sweep: C fell at step %d", i)
+		}
+	}
+	if !strings.Contains(fig13.Report, "alpha") {
+		t.Error("report missing")
+	}
+}
+
+func TestFigure14Table3Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tuning sweep over 11 traces")
+	}
+	res, err := Figure14Table3(1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 11 {
+		t.Fatalf("rows = %d, want 11", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		// Table 3 bands: small average slack, sub-2% throttled
+		// observations, bounded scaling counts.
+		if row.AvgSlack < 0 || row.AvgSlack > 8 {
+			t.Errorf("%s: avg slack = %v", row.Workload, row.AvgSlack)
+		}
+		if row.ThrottledPct > 0.05 {
+			t.Errorf("%s: throttled obs = %v, want ≤5%%", row.Workload, row.ThrottledPct)
+		}
+		if row.NumScalings < 1 || row.NumScalings > 1200 {
+			t.Errorf("%s: scalings = %d", row.Workload, row.NumScalings)
+		}
+		if row.AvgInsufficient > 0.5 {
+			t.Errorf("%s: avg insufficient = %v", row.Workload, row.AvgInsufficient)
+		}
+	}
+	// The batch workload c_48113 has long plateaus → few scalings
+	// relative to the noisy c_26742 (paper: 38 vs 443).
+	byName := map[string]AlibabaRow{}
+	for _, r := range res.Rows {
+		byName[r.Workload] = r
+	}
+	if byName["c_48113"].NumScalings >= byName["c_26742"].NumScalings {
+		t.Errorf("c_48113 (%d) should scale less than c_26742 (%d)",
+			byName["c_48113"].NumScalings, byName["c_26742"].NumScalings)
+	}
+	if !strings.Contains(res.Report, "Table 3") {
+		t.Error("report missing")
+	}
+}
+
+func TestSimulatorCorrectnessShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-loop experiment")
+	}
+	res, err := SimulatorCorrectness(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.LiveDecisions) != len(res.SimDecisions) {
+		t.Fatal("series not aligned")
+	}
+	if len(res.LiveDecisions) < 10 {
+		t.Fatalf("only %d decision pairs", len(res.LiveDecisions))
+	}
+	// The paper's acceptance criterion: statistically equivalent.
+	if !res.Equivalent {
+		t.Errorf("simulator decisions significantly differ from live: %+v", res.TTest)
+	}
+	if !strings.Contains(res.Report, "t-test") {
+		t.Error("report missing")
+	}
+}

@@ -1,0 +1,116 @@
+package forecast
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Ensemble combines several forecasters. The paper evaluated a zoo of
+// candidates (OpenShift's predictors, sktime's naïve and ARIMA, Prophet)
+// before settling on the naïve model; an ensemble is the standard way to
+// hedge across them without committing to one, and — because the §4.3
+// prediction path is pluggable — it drops straight into CaaSPER's
+// proactive mode.
+type Ensemble struct {
+	// Members are the combined forecasters; at least one is required.
+	Members []Forecaster
+	// Mode selects the combination rule.
+	Mode EnsembleMode
+}
+
+// EnsembleMode is the per-point combination rule.
+type EnsembleMode int
+
+// Combination rules.
+const (
+	// EnsembleMean averages the members' forecasts per point.
+	EnsembleMean EnsembleMode = iota
+	// EnsembleMax takes the per-point maximum — the conservative choice
+	// for scale-up-oriented forecasting (never under-predict demand).
+	EnsembleMax
+	// EnsembleMedian takes the per-point median, robust to one member
+	// going rogue (e.g. drift extrapolating an outlier).
+	EnsembleMedian
+)
+
+// Name implements Forecaster.
+func (e *Ensemble) Name() string {
+	names := make([]string, len(e.Members))
+	for i, m := range e.Members {
+		names[i] = m.Name()
+	}
+	mode := map[EnsembleMode]string{
+		EnsembleMean:   "mean",
+		EnsembleMax:    "max",
+		EnsembleMedian: "median",
+	}[e.Mode]
+	return fmt.Sprintf("ensemble-%s(%s)", mode, strings.Join(names, ","))
+}
+
+// Forecast implements Forecaster. Members that error on the given history
+// are skipped; if every member errors, the first error is returned.
+func (e *Ensemble) Forecast(history []float64, horizon int) ([]float64, error) {
+	if len(e.Members) == 0 {
+		return nil, errors.New("forecast: empty ensemble")
+	}
+	if horizon <= 0 {
+		return nil, nil
+	}
+	var forecasts [][]float64
+	var firstErr error
+	for _, m := range e.Members {
+		f, err := m.Forecast(history, horizon)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("forecast: ensemble member %s: %w", m.Name(), err)
+			}
+			continue
+		}
+		forecasts = append(forecasts, f)
+	}
+	if len(forecasts) == 0 {
+		return nil, firstErr
+	}
+	out := make([]float64, horizon)
+	col := make([]float64, 0, len(forecasts))
+	for h := 0; h < horizon; h++ {
+		col = col[:0]
+		for _, f := range forecasts {
+			col = append(col, f[h])
+		}
+		out[h] = combine(col, e.Mode)
+	}
+	return clampNonNegative(out), nil
+}
+
+func combine(xs []float64, mode EnsembleMode) float64 {
+	switch mode {
+	case EnsembleMax:
+		m := xs[0]
+		for _, v := range xs[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	case EnsembleMedian:
+		sorted := append([]float64(nil), xs...)
+		for i := 1; i < len(sorted); i++ {
+			for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+		n := len(sorted)
+		if n%2 == 1 {
+			return sorted[n/2]
+		}
+		return (sorted[n/2-1] + sorted[n/2]) / 2
+	default: // EnsembleMean
+		var s float64
+		for _, v := range xs {
+			s += v
+		}
+		return s / float64(len(xs))
+	}
+}

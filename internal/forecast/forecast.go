@@ -1,0 +1,191 @@
+// Package forecast provides the pluggable time-series forecasters behind
+// CaaSPER's proactive mode (paper §4.3). The paper evaluated OpenShift's
+// predictors, sktime's naïve and ARIMA forecasters, and Prophet, and chose
+// the seasonal-naïve forecaster for production because it is the most
+// lightweight and explainable; this package implements the same candidate
+// set behind one small interface so callers can swap algorithms freely:
+//
+//   - SeasonalNaive: repeat the last full season (the production choice)
+//   - HoltWinters:   additive triple exponential smoothing
+//   - AR:            autoregressive model fit by Yule–Walker equations
+//   - MovingAverage / ExponentialMovingAverage: the lightweight right-
+//     sizing baselines of Zhao & Uta (paper §7)
+//   - Drift:         linear extrapolation of the recent trend
+//
+// Forecasters are deterministic and allocation-light; Fit is cheap enough
+// to call at every decision tick (the paper's OpenShift criticism is that
+// retraining competing models per decision caused high latency — the
+// naïve family avoids that by construction).
+package forecast
+
+import (
+	"errors"
+	"fmt"
+
+	"caasper/internal/stats"
+)
+
+// Forecaster predicts future CPU usage from history.
+type Forecaster interface {
+	// Name identifies the algorithm in reports and explanations.
+	Name() string
+	// Forecast returns horizon future values given the history window.
+	// Implementations must not mutate history. An error is returned when
+	// the history is too short for the algorithm.
+	Forecast(history []float64, horizon int) ([]float64, error)
+}
+
+// ErrShortHistory is returned when the history is insufficient to fit.
+var ErrShortHistory = errors.New("forecast: history too short")
+
+// clampNonNegative floors forecasts at zero — CPU usage cannot be negative.
+func clampNonNegative(xs []float64) []float64 {
+	for i, v := range xs {
+		if v < 0 {
+			xs[i] = 0
+		}
+	}
+	return xs
+}
+
+// SeasonalNaive repeats the most recent full season: the forecast for time
+// T+h is the observation at T+h−season. With no full season of history it
+// degrades to last-value ("naïve") forecasting. This is the paper's
+// production algorithm.
+type SeasonalNaive struct {
+	// Season is the seasonality period in samples (e.g. 1440 for a daily
+	// cycle at one-minute resolution). Season ≤ 1 degrades to last-value.
+	Season int
+}
+
+// Name implements Forecaster.
+func (f *SeasonalNaive) Name() string { return fmt.Sprintf("seasonal-naive(%d)", f.Season) }
+
+// Forecast implements Forecaster.
+func (f *SeasonalNaive) Forecast(history []float64, horizon int) ([]float64, error) {
+	if len(history) == 0 {
+		return nil, ErrShortHistory
+	}
+	if horizon <= 0 {
+		return nil, nil
+	}
+	out := make([]float64, horizon)
+	if f.Season <= 1 || len(history) < f.Season {
+		last := history[len(history)-1]
+		for i := range out {
+			out[i] = last
+		}
+		return clampNonNegative(out), nil
+	}
+	for h := 0; h < horizon; h++ {
+		// Index of the same phase in the most recent complete season.
+		idx := len(history) - f.Season + (h % f.Season)
+		out[h] = history[idx]
+	}
+	return clampNonNegative(out), nil
+}
+
+// Naive forecasts the last observed value for the whole horizon.
+type Naive struct{}
+
+// Name implements Forecaster.
+func (Naive) Name() string { return "naive" }
+
+// Forecast implements Forecaster.
+func (Naive) Forecast(history []float64, horizon int) ([]float64, error) {
+	return (&SeasonalNaive{Season: 1}).Forecast(history, horizon)
+}
+
+// MovingAverage forecasts the mean of the last Window samples, held flat.
+type MovingAverage struct {
+	// Window is the averaging window length in samples.
+	Window int
+}
+
+// Name implements Forecaster.
+func (f *MovingAverage) Name() string { return fmt.Sprintf("moving-average(%d)", f.Window) }
+
+// Forecast implements Forecaster.
+func (f *MovingAverage) Forecast(history []float64, horizon int) ([]float64, error) {
+	if len(history) == 0 {
+		return nil, ErrShortHistory
+	}
+	if horizon <= 0 {
+		return nil, nil
+	}
+	w := f.Window
+	if w <= 0 || w > len(history) {
+		w = len(history)
+	}
+	m := stats.Mean(history[len(history)-w:])
+	out := make([]float64, horizon)
+	for i := range out {
+		out[i] = m
+	}
+	return clampNonNegative(out), nil
+}
+
+// ExponentialMovingAverage forecasts the exponentially weighted mean of
+// the history, held flat.
+type ExponentialMovingAverage struct {
+	// Alpha is the smoothing factor in (0, 1]; larger reacts faster.
+	Alpha float64
+}
+
+// Name implements Forecaster.
+func (f *ExponentialMovingAverage) Name() string { return fmt.Sprintf("ema(%.2f)", f.Alpha) }
+
+// Forecast implements Forecaster.
+func (f *ExponentialMovingAverage) Forecast(history []float64, horizon int) ([]float64, error) {
+	if len(history) == 0 {
+		return nil, ErrShortHistory
+	}
+	if horizon <= 0 {
+		return nil, nil
+	}
+	a := f.Alpha
+	if a <= 0 || a > 1 {
+		return nil, fmt.Errorf("forecast: ema alpha %v out of (0,1]", f.Alpha)
+	}
+	level := history[0]
+	for _, v := range history[1:] {
+		level = a*v + (1-a)*level
+	}
+	out := make([]float64, horizon)
+	for i := range out {
+		out[i] = level
+	}
+	return clampNonNegative(out), nil
+}
+
+// Drift extrapolates the straight line through the first and last points
+// of the recent window — the classic "drift" benchmark forecaster.
+type Drift struct {
+	// Window bounds how much history the trend is fit over; ≤0 uses all.
+	Window int
+}
+
+// Name implements Forecaster.
+func (f *Drift) Name() string { return fmt.Sprintf("drift(%d)", f.Window) }
+
+// Forecast implements Forecaster.
+func (f *Drift) Forecast(history []float64, horizon int) ([]float64, error) {
+	if len(history) < 2 {
+		return nil, ErrShortHistory
+	}
+	if horizon <= 0 {
+		return nil, nil
+	}
+	w := f.Window
+	if w <= 1 || w > len(history) {
+		w = len(history)
+	}
+	recent := history[len(history)-w:]
+	first, last := recent[0], recent[len(recent)-1]
+	slope := (last - first) / float64(len(recent)-1)
+	out := make([]float64, horizon)
+	for h := 0; h < horizon; h++ {
+		out[h] = last + slope*float64(h+1)
+	}
+	return clampNonNegative(out), nil
+}

@@ -1,0 +1,344 @@
+package forecast
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"caasper/internal/stats"
+)
+
+func sinusoid(n, period int, mean, amp float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = mean + amp*math.Sin(2*math.Pi*float64(i)/float64(period))
+	}
+	return out
+}
+
+func TestNaiveLastValue(t *testing.T) {
+	f := Naive{}
+	got, err := f.Forecast([]float64{1, 2, 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range got {
+		if v != 3 {
+			t.Errorf("naive forecast = %v, want all 3", got)
+		}
+	}
+	if _, err := f.Forecast(nil, 3); err != ErrShortHistory {
+		t.Errorf("empty history err = %v", err)
+	}
+	if got, _ := f.Forecast([]float64{1}, 0); got != nil {
+		t.Error("zero horizon should return nil")
+	}
+}
+
+func TestSeasonalNaiveRepeatsSeason(t *testing.T) {
+	f := &SeasonalNaive{Season: 4}
+	hist := []float64{1, 2, 3, 4, 10, 20, 30, 40}
+	got, err := f.Forecast(hist, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{10, 20, 30, 40, 10, 20}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("forecast[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSeasonalNaiveDegradesWithoutFullSeason(t *testing.T) {
+	f := &SeasonalNaive{Season: 100}
+	got, err := f.Forecast([]float64{5, 7}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range got {
+		if v != 7 {
+			t.Errorf("degraded forecast = %v, want last value 7", got)
+		}
+	}
+}
+
+func TestSeasonalNaivePerfectOnPeriodicSeries(t *testing.T) {
+	period := 60
+	hist := sinusoid(300, period, 5, 2)
+	f := &SeasonalNaive{Season: period}
+	pred, err := f.Forecast(hist, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A perfectly periodic series is forecast exactly.
+	for h := 0; h < period; h++ {
+		want := 5 + 2*math.Sin(2*math.Pi*float64(300+h)/float64(period))
+		if want < 0 {
+			want = 0
+		}
+		if math.Abs(pred[h]-want) > 1e-9 {
+			t.Fatalf("h=%d: pred %v, want %v", h, pred[h], want)
+		}
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	f := &MovingAverage{Window: 3}
+	got, err := f.Forecast([]float64{10, 1, 2, 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2 || got[1] != 2 {
+		t.Errorf("MA forecast = %v, want 2", got)
+	}
+	// Oversized window uses everything.
+	wide := &MovingAverage{Window: 100}
+	got, _ = wide.Forecast([]float64{2, 4}, 1)
+	if got[0] != 3 {
+		t.Errorf("wide MA = %v", got[0])
+	}
+	if _, err := f.Forecast(nil, 1); err != ErrShortHistory {
+		t.Error("empty history should error")
+	}
+}
+
+func TestEMA(t *testing.T) {
+	f := &ExponentialMovingAverage{Alpha: 0.5}
+	got, err := f.Forecast([]float64{0, 10}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 5 {
+		t.Errorf("EMA = %v, want 5", got[0])
+	}
+	bad := &ExponentialMovingAverage{Alpha: 0}
+	if _, err := bad.Forecast([]float64{1}, 1); err == nil {
+		t.Error("alpha 0 should error")
+	}
+	bad.Alpha = 1.5
+	if _, err := bad.Forecast([]float64{1}, 1); err == nil {
+		t.Error("alpha > 1 should error")
+	}
+}
+
+func TestDrift(t *testing.T) {
+	f := &Drift{}
+	got, err := f.Forecast([]float64{0, 1, 2, 3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{4, 5, 6}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("drift[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Downward drift floors at zero.
+	got, _ = f.Forecast([]float64{3, 2, 1}, 5)
+	if got[4] != 0 {
+		t.Errorf("drift should floor at 0, got %v", got[4])
+	}
+	if _, err := f.Forecast([]float64{1}, 1); err != ErrShortHistory {
+		t.Error("short history should error")
+	}
+}
+
+func TestHoltWintersValidation(t *testing.T) {
+	bad := []*HoltWinters{
+		{Alpha: 0, Beta: 0.1, Gamma: 0.1, Season: 4},
+		{Alpha: 0.1, Beta: 1, Gamma: 0.1, Season: 4},
+		{Alpha: 0.1, Beta: 0.1, Gamma: -1, Season: 4},
+		{Alpha: 0.1, Beta: 0.1, Gamma: 0.1, Season: 1},
+	}
+	hist := sinusoid(100, 4, 5, 1)
+	for i, f := range bad {
+		if _, err := f.Forecast(hist, 4); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+	ok := &HoltWinters{Alpha: 0.3, Beta: 0.1, Gamma: 0.2, Season: 50}
+	if _, err := ok.Forecast(hist[:60], 4); err != ErrShortHistory {
+		t.Errorf("insufficient seasons err = %v", err)
+	}
+}
+
+func TestHoltWintersTracksSeasonalSeries(t *testing.T) {
+	period := 24
+	hist := sinusoid(period*8, period, 6, 2)
+	f := &HoltWinters{Alpha: 0.3, Beta: 0.05, Gamma: 0.3, Season: period}
+	pred, err := f.Forecast(hist, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mae := 0.0
+	for h := 0; h < period; h++ {
+		want := 6 + 2*math.Sin(2*math.Pi*float64(len(hist)+h)/float64(period))
+		mae += math.Abs(pred[h] - want)
+	}
+	mae /= float64(period)
+	if mae > 0.5 {
+		t.Errorf("Holt-Winters MAE = %v on clean seasonal series", mae)
+	}
+}
+
+func TestHoltWintersWithTrend(t *testing.T) {
+	period := 12
+	n := period * 6
+	hist := make([]float64, n)
+	for i := range hist {
+		hist[i] = 2 + 0.05*float64(i) + math.Sin(2*math.Pi*float64(i)/float64(period))
+	}
+	f := &HoltWinters{Alpha: 0.4, Beta: 0.1, Gamma: 0.3, Season: period}
+	pred, err := f.Forecast(hist, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The forecast must continue climbing with the trend.
+	lastLevel := hist[n-1]
+	if pred[period-1] < lastLevel {
+		t.Errorf("trend not extrapolated: pred end %v < last %v", pred[period-1], lastLevel)
+	}
+}
+
+func TestARValidationAndConstantSeries(t *testing.T) {
+	f := &AR{P: 0}
+	if _, err := f.Forecast([]float64{1, 2, 3, 4}, 1); err == nil {
+		t.Error("order 0 should error")
+	}
+	f = &AR{P: 3}
+	if _, err := f.Forecast([]float64{1, 2}, 1); err != ErrShortHistory {
+		t.Error("short history should error")
+	}
+	// Constant series: forecast the mean.
+	got, err := f.Forecast([]float64{4, 4, 4, 4, 4, 4}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range got {
+		if v != 4 {
+			t.Errorf("constant-series forecast = %v", got)
+		}
+	}
+}
+
+func TestARTracksAR1Process(t *testing.T) {
+	// x_t = 0.8 x_{t-1} + noise. The fitted AR(1) coefficient should be
+	// near 0.8 and multi-step forecasts should decay toward the mean.
+	rng := stats.NewRNG(17)
+	n := 2000
+	x := make([]float64, n)
+	for t := 1; t < n; t++ {
+		x[t] = 0.8*x[t-1] + rng.NormFloat64()*0.5
+	}
+	// Shift positive so the non-negativity floor doesn't distort.
+	for i := range x {
+		x[i] += 10
+	}
+	phi, ok := yuleWalker(centered(x), 1)
+	if !ok {
+		t.Fatal("yuleWalker failed")
+	}
+	if math.Abs(phi[0]-0.8) > 0.1 {
+		t.Errorf("AR(1) coefficient = %v, want ≈0.8", phi[0])
+	}
+	f := &AR{P: 1}
+	pred, err := f.Forecast(x, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Long-horizon forecast converges to the mean (≈10).
+	if math.Abs(pred[49]-10) > 1.0 {
+		t.Errorf("long-horizon AR forecast = %v, want ≈10", pred[49])
+	}
+}
+
+func centered(x []float64) []float64 {
+	m := stats.Mean(x)
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = v - m
+	}
+	return out
+}
+
+func TestForecastsNonNegative(t *testing.T) {
+	hist := []float64{5, 3, 1, 0.2, 0.1}
+	forecasters := []Forecaster{
+		Naive{},
+		&SeasonalNaive{Season: 2},
+		&MovingAverage{Window: 3},
+		&ExponentialMovingAverage{Alpha: 0.5},
+		&Drift{},
+		&AR{P: 2},
+	}
+	for _, f := range forecasters {
+		pred, err := f.Forecast(hist, 10)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name(), err)
+		}
+		for _, v := range pred {
+			if v < 0 {
+				t.Errorf("%s produced negative forecast %v", f.Name(), v)
+			}
+		}
+	}
+}
+
+func TestForecasterNames(t *testing.T) {
+	cases := []struct {
+		f    Forecaster
+		want string
+	}{
+		{Naive{}, "naive"},
+		{&SeasonalNaive{Season: 1440}, "seasonal-naive(1440)"},
+		{&MovingAverage{Window: 5}, "moving-average(5)"},
+		{&ExponentialMovingAverage{Alpha: 0.25}, "ema(0.25)"},
+		{&Drift{Window: 10}, "drift(10)"},
+		{&AR{P: 3}, "ar(3)"},
+		{&HoltWinters{Alpha: 0.1, Beta: 0.2, Gamma: 0.3, Season: 7}, "holt-winters"},
+	}
+	for _, c := range cases {
+		if got := c.f.Name(); !strings.HasPrefix(got, strings.Split(c.want, "(")[0]) {
+			t.Errorf("Name = %q, want prefix of %q", got, c.want)
+		}
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	period := 48
+	hist := sinusoid(period*5, period, 5, 2)
+	mae, mape, err := Accuracy(&SeasonalNaive{Season: period}, hist, period*4, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mae > 1e-9 || mape > 1e-9 {
+		t.Errorf("seasonal-naive on periodic series: mae=%v mape=%v, want 0", mae, mape)
+	}
+	// The plain naive forecaster should do worse on a seasonal series.
+	nmae, _, err := Accuracy(Naive{}, hist, period*4, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmae <= mae {
+		t.Errorf("naive MAE %v should exceed seasonal MAE %v", nmae, mae)
+	}
+	if _, _, err := Accuracy(Naive{}, hist, 0, 10); err == nil {
+		t.Error("split 0 should error")
+	}
+	if _, _, err := Accuracy(Naive{}, hist, len(hist), 10); err == nil {
+		t.Error("split at end should error")
+	}
+}
+
+func TestAccuracyHorizonClamp(t *testing.T) {
+	hist := []float64{1, 2, 3, 4, 5}
+	mae, _, err := Accuracy(Naive{}, hist, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forecast value is 3; actuals are {4, 5} -> MAE 1.5.
+	if math.Abs(mae-1.5) > 1e-9 {
+		t.Errorf("clamped-horizon MAE = %v, want 1.5", mae)
+	}
+}

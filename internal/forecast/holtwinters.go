@@ -1,0 +1,84 @@
+package forecast
+
+import (
+	"fmt"
+
+	"caasper/internal/stats"
+)
+
+// HoltWinters is additive triple exponential smoothing: level, trend and
+// seasonal components updated per observation. It is the classical
+// predictive-autoscaling algorithm (Wang et al. [73], discussed in paper
+// §1/§7) that CaaSPER's naïve forecaster is compared against.
+type HoltWinters struct {
+	// Alpha smooths the level, Beta the trend, Gamma the seasonality.
+	// All must lie in (0, 1).
+	Alpha, Beta, Gamma float64
+	// Season is the seasonal period in samples; must be ≥ 2 and the
+	// history must contain at least two full seasons.
+	Season int
+}
+
+// Name implements Forecaster.
+func (f *HoltWinters) Name() string {
+	return fmt.Sprintf("holt-winters(%.2f,%.2f,%.2f,%d)", f.Alpha, f.Beta, f.Gamma, f.Season)
+}
+
+// Forecast implements Forecaster.
+func (f *HoltWinters) Forecast(history []float64, horizon int) ([]float64, error) {
+	if err := f.validate(); err != nil {
+		return nil, err
+	}
+	m := f.Season
+	if len(history) < 2*m {
+		return nil, ErrShortHistory
+	}
+	if horizon <= 0 {
+		return nil, nil
+	}
+
+	// Initial level: mean of first season. Initial trend: average
+	// per-sample change between the first two seasons. Initial seasonal
+	// indices: first-season deviations from its mean.
+	level := stats.Mean(history[:m])
+	var trend float64
+	for i := 0; i < m; i++ {
+		trend += (history[m+i] - history[i]) / float64(m)
+	}
+	trend /= float64(m)
+	seasonal := make([]float64, m)
+	for i := 0; i < m; i++ {
+		seasonal[i] = history[i] - level
+	}
+
+	for t := m; t < len(history); t++ {
+		s := t % m
+		prevLevel := level
+		level = f.Alpha*(history[t]-seasonal[s]) + (1-f.Alpha)*(level+trend)
+		trend = f.Beta*(level-prevLevel) + (1-f.Beta)*trend
+		seasonal[s] = f.Gamma*(history[t]-level) + (1-f.Gamma)*seasonal[s]
+	}
+
+	out := make([]float64, horizon)
+	n := len(history)
+	for h := 1; h <= horizon; h++ {
+		s := (n + h - 1) % m
+		out[h-1] = level + float64(h)*trend + seasonal[s]
+	}
+	return clampNonNegative(out), nil
+}
+
+func (f *HoltWinters) validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"alpha", f.Alpha}, {"beta", f.Beta}, {"gamma", f.Gamma}} {
+		if p.v <= 0 || p.v >= 1 {
+			return fmt.Errorf("forecast: holt-winters %s %v out of (0,1)", p.name, p.v)
+		}
+	}
+	if f.Season < 2 {
+		return fmt.Errorf("forecast: holt-winters season %d must be ≥ 2", f.Season)
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package forecast
+
+import (
+	"math"
+
+	"caasper/internal/stats"
+)
+
+// IntervalForecaster extends Forecaster with prediction intervals. The
+// paper's §4.3/§8 future work plans to use confidence values "as a
+// prefilter ... to improve the balance between predictive and reactive
+// components" — core.Proactive consumes this interface when its
+// uncertainty prefilter is enabled.
+type IntervalForecaster interface {
+	Forecaster
+	// ForecastInterval returns the point forecast together with lower
+	// and upper bounds at roughly 95% coverage. All three slices have
+	// length horizon.
+	ForecastInterval(history []float64, horizon int) (point, lo, hi []float64, err error)
+}
+
+// IntervalSeasonalNaive wraps SeasonalNaive with empirical prediction
+// intervals: the residuals between the two most recent seasons estimate
+// the forecast error spread, and the interval is point ± z·sd with
+// z = 1.96. With fewer than two full seasons the interval degenerates to
+// the point forecast (maximal confidence is the safe default: the
+// prefilter then never blocks the reactive fallback path, which handles
+// cold starts on its own).
+type IntervalSeasonalNaive struct {
+	SeasonalNaive
+}
+
+// NewIntervalSeasonalNaive builds the interval-carrying seasonal-naive
+// forecaster.
+func NewIntervalSeasonalNaive(season int) *IntervalSeasonalNaive {
+	return &IntervalSeasonalNaive{SeasonalNaive{Season: season}}
+}
+
+// Name implements Forecaster.
+func (f *IntervalSeasonalNaive) Name() string {
+	return "interval-" + f.SeasonalNaive.Name()
+}
+
+// ForecastInterval implements IntervalForecaster.
+func (f *IntervalSeasonalNaive) ForecastInterval(history []float64, horizon int) (point, lo, hi []float64, err error) {
+	point, err = f.Forecast(history, horizon)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sd := f.residualSD(history)
+	lo = make([]float64, len(point))
+	hi = make([]float64, len(point))
+	const z = 1.96
+	for i, p := range point {
+		l := p - z*sd
+		if l < 0 {
+			l = 0
+		}
+		lo[i] = l
+		hi[i] = p + z*sd
+	}
+	return point, lo, hi, nil
+}
+
+// residualSD estimates the one-season-ahead forecast error spread from
+// the residuals between the last two full seasons.
+func (f *IntervalSeasonalNaive) residualSD(history []float64) float64 {
+	m := f.Season
+	if m <= 1 || len(history) < 2*m {
+		return 0
+	}
+	res := make([]float64, m)
+	for i := 0; i < m; i++ {
+		cur := history[len(history)-m+i]
+		prev := history[len(history)-2*m+i]
+		res[i] = cur - prev
+	}
+	return stats.StdDev(res)
+}
+
+// RelativeUncertainty summarises an interval forecast as a single number:
+// the mean interval half-width divided by the mean point forecast (floored
+// at a small epsilon). A value of 0 means perfectly confident; values
+// above ~1 mean the interval is wider than the forecast itself.
+func RelativeUncertainty(point, lo, hi []float64) float64 {
+	if len(point) == 0 {
+		return 0
+	}
+	var width, level float64
+	for i := range point {
+		width += (hi[i] - lo[i]) / 2
+		level += point[i]
+	}
+	width /= float64(len(point))
+	level /= float64(len(point))
+	if level < 0.1 {
+		level = 0.1
+	}
+	if math.IsNaN(width) || math.IsInf(width, 0) {
+		return math.Inf(1)
+	}
+	return width / level
+}

@@ -1,0 +1,91 @@
+package forecast
+
+import (
+	"math"
+	"testing"
+
+	"caasper/internal/stats"
+)
+
+func TestIntervalSeasonalNaiveName(t *testing.T) {
+	f := NewIntervalSeasonalNaive(48)
+	if f.Name() != "interval-seasonal-naive(48)" {
+		t.Errorf("name = %q", f.Name())
+	}
+}
+
+func TestIntervalDegeneratesWithoutTwoSeasons(t *testing.T) {
+	f := NewIntervalSeasonalNaive(100)
+	hist := []float64{3, 3, 3}
+	point, lo, hi, err := f.ForecastInterval(hist, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range point {
+		if lo[i] != point[i] || hi[i] != point[i] {
+			t.Errorf("interval should be degenerate without history: [%v %v %v]", lo[i], point[i], hi[i])
+		}
+	}
+}
+
+func TestIntervalWidthTracksNoise(t *testing.T) {
+	season := 60
+	mk := func(noise float64, seed uint64) []float64 {
+		rng := stats.NewRNG(seed)
+		hist := make([]float64, 4*season)
+		for i := range hist {
+			hist[i] = 5 + 2*math.Sin(2*math.Pi*float64(i)/float64(season)) + rng.NormFloat64()*noise
+		}
+		return hist
+	}
+	f := NewIntervalSeasonalNaive(season)
+
+	quietP, quietLo, quietHi, err := f.ForecastInterval(mk(0.05, 1), season)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisyP, noisyLo, noisyHi, err := f.ForecastInterval(mk(2.0, 2), season)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quietU := RelativeUncertainty(quietP, quietLo, quietHi)
+	noisyU := RelativeUncertainty(noisyP, noisyLo, noisyHi)
+	if noisyU <= quietU {
+		t.Errorf("noisy uncertainty %v should exceed quiet %v", noisyU, quietU)
+	}
+	// Intervals bracket the point and never go negative.
+	for i := range noisyP {
+		if noisyLo[i] > noisyP[i] || noisyHi[i] < noisyP[i] {
+			t.Fatalf("interval does not bracket point at %d", i)
+		}
+		if noisyLo[i] < 0 {
+			t.Fatalf("negative lower bound at %d", i)
+		}
+	}
+}
+
+func TestIntervalErrorPropagates(t *testing.T) {
+	f := NewIntervalSeasonalNaive(10)
+	if _, _, _, err := f.ForecastInterval(nil, 5); err != ErrShortHistory {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRelativeUncertainty(t *testing.T) {
+	if got := RelativeUncertainty(nil, nil, nil); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	point := []float64{10, 10}
+	lo := []float64{8, 8}
+	hi := []float64{12, 12}
+	if got := RelativeUncertainty(point, lo, hi); math.Abs(got-0.2) > 1e-9 {
+		t.Errorf("uncertainty = %v, want 0.2", got)
+	}
+	// Near-zero forecasts don't blow up the ratio.
+	small := RelativeUncertainty([]float64{0.001}, []float64{0}, []float64{0.1})
+	if math.IsInf(small, 0) || math.IsNaN(small) {
+		t.Errorf("small-level uncertainty = %v", small)
+	}
+}
+
+var _ IntervalForecaster = (*IntervalSeasonalNaive)(nil)

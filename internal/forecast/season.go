@@ -1,0 +1,125 @@
+package forecast
+
+import (
+	"errors"
+
+	"caasper/internal/stats"
+)
+
+// DetectSeason estimates a series' dominant seasonality period from its
+// autocorrelation function — the prerequisite the paper's proactive mode
+// leaves implicit ("a complete seasonality period is awaited before
+// transitioning to proactive mode", §4.3, Figure 8): before a season can
+// be awaited, something must know its length. Daily-cyclical workloads at
+// one-minute resolution detect as 1440.
+//
+// The method is the textbook one: compute the ACF up to maxLag, find the
+// first local maximum beyond the initial decay that exceeds minACF, and
+// return its lag. A series with no periodicity above the threshold
+// returns ErrNoSeason.
+//
+// minLag bounds the search from below (short-range autocorrelation from
+// smoothness would otherwise win); pass 0 for the default of 10 samples.
+func DetectSeason(series []float64, minLag, maxLag int, minACF float64) (int, error) {
+	if minLag <= 0 {
+		minLag = 10
+	}
+	if maxLag <= minLag {
+		return 0, errors.New("forecast: maxLag must exceed minLag")
+	}
+	if len(series) < 2*maxLag {
+		return 0, ErrShortHistory
+	}
+	if minACF <= 0 || minACF >= 1 {
+		return 0, errors.New("forecast: minACF out of (0,1)")
+	}
+
+	acf, err := autocorrelation(series, maxLag)
+	if err != nil {
+		return 0, err
+	}
+
+	// Find the highest local ACF maximum in [minLag, maxLag].
+	bestLag, bestVal := 0, minACF
+	for lag := minLag; lag < maxLag; lag++ {
+		v := acf[lag]
+		if v <= bestVal {
+			continue
+		}
+		// Local maximum: at least as large as both neighbours.
+		if v >= acf[lag-1] && (lag+1 >= len(acf) || v >= acf[lag+1]) {
+			bestLag, bestVal = lag, v
+		}
+	}
+	if bestLag == 0 {
+		return 0, ErrNoSeason
+	}
+	return bestLag, nil
+}
+
+// ErrNoSeason is returned when no periodicity clears the ACF threshold —
+// the paper's "low predictability" R5 scenario, in which CaaSPER must
+// stay purely reactive.
+var ErrNoSeason = errors.New("forecast: no seasonality detected")
+
+// autocorrelation returns the normalised ACF for lags 0..maxLag.
+func autocorrelation(series []float64, maxLag int) ([]float64, error) {
+	n := len(series)
+	if n < 2 {
+		return nil, ErrShortHistory
+	}
+	mean := stats.Mean(series)
+	var denom float64
+	centered := make([]float64, n)
+	for i, v := range series {
+		centered[i] = v - mean
+		denom += centered[i] * centered[i]
+	}
+	acf := make([]float64, maxLag+1)
+	if denom == 0 {
+		// Constant series: define ACF as zero beyond lag 0.
+		acf[0] = 1
+		return acf, nil
+	}
+	for lag := 0; lag <= maxLag; lag++ {
+		var num float64
+		for t := lag; t < n; t++ {
+			num += centered[t] * centered[t-lag]
+		}
+		acf[lag] = num / denom
+	}
+	return acf, nil
+}
+
+// AutoSeasonalNaive builds a seasonal-naïve forecaster whose season is
+// detected from the history itself, falling back to last-value
+// forecasting when no season clears the threshold. It re-detects on every
+// call, so the forecaster adapts as history accumulates — matching the
+// §4.3 flow where period₁ is reactive and the proactive mode engages only
+// once a full cycle is visible.
+type AutoSeasonalNaive struct {
+	// MinLag / MaxLag bound the detected period in samples.
+	MinLag, MaxLag int
+	// MinACF is the detection threshold (default 0.3 when zero).
+	MinACF float64
+	// LastDetected exposes the most recent detection (0 = none).
+	LastDetected int
+}
+
+// Name implements Forecaster.
+func (f *AutoSeasonalNaive) Name() string { return "auto-seasonal-naive" }
+
+// Forecast implements Forecaster.
+func (f *AutoSeasonalNaive) Forecast(history []float64, horizon int) ([]float64, error) {
+	minACF := f.MinACF
+	if minACF == 0 {
+		minACF = 0.3
+	}
+	season, err := DetectSeason(history, f.MinLag, f.MaxLag, minACF)
+	if err != nil {
+		f.LastDetected = 0
+		return Naive{}.Forecast(history, horizon)
+	}
+	f.LastDetected = season
+	return (&SeasonalNaive{Season: season}).Forecast(history, horizon)
+}

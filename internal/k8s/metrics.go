@@ -1,0 +1,86 @@
+package k8s
+
+import "sort"
+
+// MetricsServer aggregates per-pod CPU usage into fixed-interval samples
+// (paper Figure 1, step 2). The live system samples at one-minute
+// intervals; the server accumulates second-level usage and closes a
+// bucket every IntervalSeconds.
+type MetricsServer struct {
+	// IntervalSeconds is the sample width (60 for one-minute samples).
+	IntervalSeconds int64
+
+	series map[string][]float64 // pod → closed per-interval mean cores
+	acc    map[string]float64   // pod → cpu-seconds in the open bucket
+	opened map[string]int64     // pod → open bucket index
+}
+
+// NewMetricsServer builds a server with the given sample interval.
+func NewMetricsServer(intervalSeconds int64) *MetricsServer {
+	if intervalSeconds < 1 {
+		intervalSeconds = 60
+	}
+	return &MetricsServer{
+		IntervalSeconds: intervalSeconds,
+		series:          make(map[string][]float64),
+		acc:             make(map[string]float64),
+		opened:          make(map[string]int64),
+	}
+}
+
+// RecordUsage registers that the pod consumed usedCores during the
+// one-second tick at time now. Buckets close automatically; a pod that
+// records nothing in a bucket (e.g. while restarting) reports zero for it.
+func (m *MetricsServer) RecordUsage(pod string, now int64, usedCores float64) {
+	bucket := now / m.IntervalSeconds
+	if open, ok := m.opened[pod]; ok && bucket != open {
+		m.closeThrough(pod, bucket)
+	}
+	if _, ok := m.opened[pod]; !ok {
+		// First sample for this pod: backfill zeros for skipped buckets.
+		m.closeThrough(pod, bucket)
+	}
+	m.opened[pod] = bucket
+	m.acc[pod] += usedCores
+}
+
+// closeThrough closes buckets for pod up to (but excluding) bucket.
+func (m *MetricsServer) closeThrough(pod string, bucket int64) {
+	open, ok := m.opened[pod]
+	if !ok {
+		// Never recorded: create empty history up to the target bucket.
+		for int64(len(m.series[pod])) < bucket {
+			m.series[pod] = append(m.series[pod], 0)
+		}
+		return
+	}
+	// Close the open bucket.
+	m.series[pod] = append(m.series[pod], m.acc[pod]/float64(m.IntervalSeconds))
+	m.acc[pod] = 0
+	// Zero-fill wholly silent buckets in between.
+	for b := open + 1; b < bucket; b++ {
+		m.series[pod] = append(m.series[pod], 0)
+	}
+	delete(m.opened, pod)
+}
+
+// UsageSeries returns the closed per-interval mean-cores series for the
+// pod. The returned slice is shared; callers must not mutate it.
+func (m *MetricsServer) UsageSeries(pod string) []float64 {
+	return m.series[pod]
+}
+
+// Pods returns the pods with any recorded samples, sorted by name.
+func (m *MetricsServer) Pods() []string {
+	out := make([]string, 0, len(m.series))
+	for name := range m.series {
+		out = append(out, name)
+	}
+	for name := range m.opened {
+		if _, ok := m.series[name]; !ok {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

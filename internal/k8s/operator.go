@@ -1,0 +1,229 @@
+package k8s
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Operator coordinates a stateful set's state transitions (paper Figure 1,
+// step 1): role management, failover, and — central to this repository —
+// rolling updates with restart (§2.2): a resize restarts pods one at a
+// time, secondaries first, the initial primary last, each restart evicting
+// and rescheduling the pod with its new resource spec.
+//
+// The operator is tick-driven: call Tick once per simulated second.
+type Operator struct {
+	// Set is the managed stateful set.
+	Set *StatefulSet
+	// Cluster schedules restarted pods.
+	Cluster *Cluster
+	// RestartSeconds is how long one pod's deallocate/reschedule/restart
+	// cycle takes. Database A's strict HA flow takes ~300 s per pod (a
+	// 3-replica resize spans the paper's 5–15 minute window); Database B
+	// ~120 s.
+	RestartSeconds int64
+
+	// InPlace enables the Kubernetes in-place pod resize feature the
+	// paper evaluates as future work (§2.2 footnote 4, §6.2 footnote 10,
+	// §8): limits change without deallocating pods, so resizes complete
+	// in one tick with no restarts, no dropped connections and no
+	// failover. The paper reports that with this feature "neither the
+	// scale-up lag nor failed transactions occur".
+	InPlace bool
+
+	// OnPodDown, OnPodUp and OnFailover, when non-nil, notify the
+	// application layer (the database simulator drops the pod's
+	// connections on restart, matching the paper's "user connections
+	// are interrupted when a pod instance restarts").
+	OnPodDown  func(p *Pod)
+	OnPodUp    func(p *Pod)
+	OnFailover func(oldPrimary, newPrimary *Pod)
+
+	// FailoverCount counts primary hand-offs (observability).
+	FailoverCount int
+	// ResizeCount counts completed rolling updates.
+	ResizeCount int
+
+	// rolling-update state
+	updating    bool
+	targetCores int
+	queue       []*Pod // pods still to restart, in restart order
+	inFlight    *Pod   // pod currently restarting
+	// EffectiveAt records when the most recent resize became effective
+	// for the primary (users "experience" the new allocation).
+	EffectiveAt int64
+}
+
+// NewOperator builds an operator.
+func NewOperator(set *StatefulSet, cluster *Cluster, restartSeconds int64) (*Operator, error) {
+	if set == nil || cluster == nil {
+		return nil, errors.New("k8s: operator needs a set and a cluster")
+	}
+	if restartSeconds < 1 {
+		return nil, errors.New("k8s: restartSeconds must be ≥ 1")
+	}
+	return &Operator{Set: set, Cluster: cluster, RestartSeconds: restartSeconds}, nil
+}
+
+// Updating reports whether a rolling update is in flight.
+func (o *Operator) Updating() bool { return o.updating }
+
+// TargetCores returns the in-flight resize target (0 when idle).
+func (o *Operator) TargetCores() int {
+	if !o.updating {
+		return 0
+	}
+	return o.targetCores
+}
+
+// ResizeDuration returns the expected wall time of a full rolling update.
+func (o *Operator) ResizeDuration() int64 {
+	return o.RestartSeconds * int64(len(o.Set.Pods))
+}
+
+// RequestResize begins a rolling update to the new whole-core limit. It
+// fails while another update is in flight (the scaler serializes on this)
+// or when the target equals the current limit.
+func (o *Operator) RequestResize(targetCores int, now int64) error {
+	if o.updating {
+		return fmt.Errorf("k8s: resize to %d rejected: update to %d in flight", targetCores, o.targetCores)
+	}
+	if targetCores < 1 {
+		return fmt.Errorf("k8s: invalid target %d", targetCores)
+	}
+	if targetCores == o.Set.CPULimit() {
+		return fmt.Errorf("k8s: target %d equals current limit", targetCores)
+	}
+	if o.InPlace {
+		// In-place resize: patch every pod's spec without a restart.
+		// Node request accounting moves with the spec; a scale-up that
+		// no longer fits its node would be rejected by the real
+		// scheduler too, so reject it here rather than over-commit.
+		if err := o.resizeInPlace(targetCores); err != nil {
+			return err
+		}
+		o.ResizeCount++
+		o.EffectiveAt = now
+		return nil
+	}
+	o.updating = true
+	o.targetCores = targetCores
+
+	// Restart order: secondaries by ordinal, the current primary last
+	// (§3.1: "the operator policy prioritizes updating the initial
+	// primary replica last to avoid additional client failovers").
+	var secondaries, primaries []*Pod
+	for _, p := range o.Set.Pods {
+		if p.Role == RolePrimary {
+			primaries = append(primaries, p)
+		} else {
+			secondaries = append(secondaries, p)
+		}
+	}
+	sort.Slice(secondaries, func(i, j int) bool { return secondaries[i].Ordinal < secondaries[j].Ordinal })
+	o.queue = append(secondaries, primaries...)
+	return nil
+}
+
+// resizeInPlace patches every pod's spec through the cluster's in-place
+// resize path, validating feasibility pod by pod. On a mid-way failure it
+// rolls the already-patched pods back so the set never ends up split.
+func (o *Operator) resizeInPlace(targetCores int) error {
+	spec := NewGuaranteedSpec(targetCores, o.Set.MemGiBPerPod)
+	var done []*Pod
+	var prev []ContainerSpec
+	for _, p := range o.Set.Pods {
+		old := p.Spec
+		if err := o.Cluster.ResizeInPlace(p, spec); err != nil {
+			for i := len(done) - 1; i >= 0; i-- {
+				// Shrinking back to the previous spec always fits.
+				if rbErr := o.Cluster.ResizeInPlace(done[i], prev[i]); rbErr != nil {
+					// Rollback of a shrink cannot fail; if it somehow
+					// does, surface both errors loudly.
+					return fmt.Errorf("k8s: in-place rollback failed: %v (original: %w)", rbErr, err)
+				}
+			}
+			return err
+		}
+		done = append(done, p)
+		prev = append(prev, old)
+	}
+	return nil
+}
+
+// Tick advances the rolling-update state machine by one step at time now
+// (seconds). It finishes at most one restart and starts at most one per
+// call; with one call per simulated second this matches the serialized
+// per-pod flow.
+func (o *Operator) Tick(now int64) {
+	if !o.updating {
+		return
+	}
+
+	// Complete an in-flight restart.
+	if o.inFlight != nil && now >= o.inFlight.RestartingUntil {
+		p := o.inFlight
+		if err := o.Cluster.Schedule(p); err != nil {
+			// No capacity right now: retry next tick. Real operators
+			// back off; one-second retries are equivalent here.
+			return
+		}
+		p.Phase = PhaseRunning
+		p.Restarts++
+		o.inFlight = nil
+		if o.OnPodUp != nil {
+			o.OnPodUp(p)
+		}
+	}
+	if o.inFlight != nil {
+		return // still restarting
+	}
+
+	// Start the next restart, or finish the update.
+	if len(o.queue) == 0 {
+		o.updating = false
+		o.ResizeCount++
+		o.EffectiveAt = now
+		return
+	}
+	p := o.queue[0]
+	o.queue = o.queue[1:]
+
+	// Restarting the primary forces a failover to an updated secondary
+	// first — the single, final failover the paper's ordering is
+	// designed to guarantee.
+	if p.Role == RolePrimary {
+		if s := o.pickFailoverTarget(); s != nil {
+			p.Role = RoleSecondary
+			s.Role = RolePrimary
+			o.FailoverCount++
+			if o.OnFailover != nil {
+				o.OnFailover(p, s)
+			}
+		}
+	}
+
+	o.Cluster.Evict(p)
+	if o.OnPodDown != nil {
+		o.OnPodDown(p)
+	}
+	p.Phase = PhaseRestarting
+	p.Spec = NewGuaranteedSpec(o.targetCores, o.Set.MemGiBPerPod)
+	p.RestartingUntil = now + o.RestartSeconds
+	o.inFlight = p
+}
+
+// pickFailoverTarget chooses the running secondary with the lowest
+// ordinal (deterministic; already resized at this point in the queue).
+func (o *Operator) pickFailoverTarget() *Pod {
+	var best *Pod
+	for _, p := range o.Set.Pods {
+		if p.Running() && p.Role == RoleSecondary {
+			if best == nil || p.Ordinal < best.Ordinal {
+				best = p
+			}
+		}
+	}
+	return best
+}

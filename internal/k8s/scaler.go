@@ -1,0 +1,101 @@
+package k8s
+
+import (
+	"errors"
+
+	"caasper/internal/recommend"
+	"caasper/internal/stats"
+)
+
+// Scaler is the decision-enacting entity of the autoscaling loop (paper
+// Figure 1, steps 5–6): it feeds fresh metric samples to the recommender,
+// polls it on a fixed cadence, performs health and resource safety checks,
+// and instructs the operator to enact accepted decisions.
+//
+// Per the paper's adaptation (§3.3, footnote 6), the scaler targets the
+// *primary* replica's metrics: secondary replicas of a primary/secondary
+// database see an asymmetric workload, so set-wide averaging (what stock
+// VPA does for stateless replica sets) would dilute the signal.
+type Scaler struct {
+	// Rec is the pluggable recommender.
+	Rec recommend.Recommender
+	// Operator enacts resizes.
+	Operator *Operator
+	// Metrics is the metric source.
+	Metrics *MetricsServer
+	// DecisionEverySeconds is the recommendation cadence (600 s in the
+	// experiments: resizes take minutes, deciding faster is pointless).
+	DecisionEverySeconds int64
+	// MinCores / MaxCores are the safety clamps ("we implemented logic
+	// to prevent autoscaling below 2 cores", §3.3; the max is bounded by
+	// node size and co-tenants, §6.2).
+	MinCores, MaxCores int
+
+	// ScalingsRequested counts accepted resize requests.
+	ScalingsRequested int
+	// DecisionSeries records the clamped recommendation at every
+	// decision tick (holds included) for §5's simulator-vs-live t-test.
+	DecisionSeries []float64
+
+	cursor       int // metric samples already fed to the recommender
+	nextDecision int64
+}
+
+// NewScaler wires the loop together.
+func NewScaler(rec recommend.Recommender, op *Operator, ms *MetricsServer, decisionEverySeconds int64, minCores, maxCores int) (*Scaler, error) {
+	if rec == nil || op == nil || ms == nil {
+		return nil, errors.New("k8s: scaler needs recommender, operator and metrics")
+	}
+	if decisionEverySeconds < 1 {
+		return nil, errors.New("k8s: decision cadence must be ≥ 1s")
+	}
+	if minCores < 1 || maxCores < minCores {
+		return nil, errors.New("k8s: bad core bounds")
+	}
+	return &Scaler{
+		Rec:                  rec,
+		Operator:             op,
+		Metrics:              ms,
+		DecisionEverySeconds: decisionEverySeconds,
+		MinCores:             minCores,
+		MaxCores:             maxCores,
+		nextDecision:         decisionEverySeconds,
+	}, nil
+}
+
+// Tick advances the scaler at time now (seconds). It pushes any newly
+// closed metric samples of the primary into the recommender and, at the
+// decision cadence, asks for and possibly enacts a recommendation.
+func (s *Scaler) Tick(now int64) {
+	primary := s.Operator.Set.Primary()
+	if primary == nil {
+		return
+	}
+	// Feed newly closed samples. The cursor survives failovers: the
+	// series switches to the new primary's history from its next sample
+	// on, mirroring how the live pipeline re-targets its metric query.
+	series := s.Metrics.UsageSeries(primary.Name)
+	for s.cursor < len(series) {
+		s.Rec.Observe(s.cursor, series[s.cursor])
+		s.cursor++
+	}
+
+	if now < s.nextDecision {
+		return
+	}
+	s.nextDecision = now + s.DecisionEverySeconds
+
+	// Health check: never stack decisions on an in-flight update.
+	if s.Operator.Updating() {
+		return
+	}
+	current := s.Operator.Set.CPULimit()
+	target := stats.ClampInt(s.Rec.Recommend(current), s.MinCores, s.MaxCores)
+	s.DecisionSeries = append(s.DecisionSeries, float64(target))
+	if target == current {
+		return
+	}
+	if err := s.Operator.RequestResize(target, now); err == nil {
+		s.ScalingsRequested++
+	}
+}

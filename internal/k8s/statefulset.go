@@ -1,0 +1,124 @@
+package k8s
+
+import (
+	"errors"
+	"fmt"
+)
+
+// StatefulSet is a replicated stateful application: one writable primary
+// plus n−1 readable secondaries (paper Figure 2).
+type StatefulSet struct {
+	// Name prefixes pod names.
+	Name string
+	// Pods are the replicas, indexed by ordinal.
+	Pods []*Pod
+	// MemGiBPerPod is the fixed per-pod memory spec (memory is not
+	// scaled or billed in the paper's model).
+	MemGiBPerPod float64
+}
+
+// NewStatefulSet creates a set with the given replica count and initial
+// whole-core CPU limit (limits == requests per the service invariant) and
+// schedules every pod onto the cluster. Ordinal 0 starts as primary.
+func NewStatefulSet(name string, replicas, cpuCores int, memGiB float64, cluster *Cluster) (*StatefulSet, error) {
+	if replicas < 1 {
+		return nil, errors.New("k8s: replicas must be ≥ 1")
+	}
+	if cpuCores < 1 {
+		return nil, errors.New("k8s: cpuCores must be ≥ 1")
+	}
+	set := &StatefulSet{Name: name, MemGiBPerPod: memGiB}
+	for i := 0; i < replicas; i++ {
+		role := RoleSecondary
+		if i == 0 {
+			role = RolePrimary
+		}
+		p := &Pod{
+			Name:    fmt.Sprintf("%s-%d", name, i),
+			Ordinal: i,
+			Role:    role,
+			Phase:   PhasePending,
+			Spec:    NewGuaranteedSpec(cpuCores, memGiB),
+		}
+		if err := cluster.Schedule(p); err != nil {
+			return nil, fmt.Errorf("k8s: scheduling %s: %w", p.Name, err)
+		}
+		p.Phase = PhaseRunning
+		set.Pods = append(set.Pods, p)
+	}
+	return set, nil
+}
+
+// Primary returns the current primary pod, or nil when none is running
+// (mid-failover instant).
+func (s *StatefulSet) Primary() *Pod {
+	for _, p := range s.Pods {
+		if p.Role == RolePrimary {
+			return p
+		}
+	}
+	return nil
+}
+
+// RunningPods returns the pods currently able to serve.
+func (s *StatefulSet) RunningPods() []*Pod {
+	out := make([]*Pod, 0, len(s.Pods))
+	for _, p := range s.Pods {
+		if p.Running() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// RunningSecondaries returns running secondary replicas.
+func (s *StatefulSet) RunningSecondaries() []*Pod {
+	out := make([]*Pod, 0, len(s.Pods))
+	for _, p := range s.Pods {
+		if p.Running() && p.Role == RoleSecondary {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// AddReplica grows the set horizontally by one secondary. The new pod is
+// scheduled immediately but serves nothing until seedUntil: creating a
+// database replica "often involves a 'size of data copy' operation to
+// seed the new replica from existing ones" (§3.1) — the cost that makes
+// horizontal scaling a poor fit for stateful monoliths. The pod enters
+// PhaseRestarting with RestartingUntil=seedUntil; callers flip it to
+// PhaseRunning when the seed completes (the operator's Tick does not
+// manage scale-out pods — horizontal scaling is intentionally outside the
+// vertical operator's duties).
+func (s *StatefulSet) AddReplica(cluster *Cluster, cpuCores int, seedUntil int64) (*Pod, error) {
+	ordinal := len(s.Pods)
+	p := &Pod{
+		Name:            fmt.Sprintf("%s-%d", s.Name, ordinal),
+		Ordinal:         ordinal,
+		Role:            RoleSecondary,
+		Phase:           PhasePending,
+		Spec:            NewGuaranteedSpec(cpuCores, s.MemGiBPerPod),
+		RestartingUntil: seedUntil,
+	}
+	if err := cluster.Schedule(p); err != nil {
+		return nil, fmt.Errorf("k8s: scaling out %s: %w", s.Name, err)
+	}
+	p.Phase = PhaseRestarting // seeding: scheduled but not serving
+	s.Pods = append(s.Pods, p)
+	return p, nil
+}
+
+// CPULimit returns the set's common whole-core CPU limit (all replicas
+// share one spec; during a rolling update pods may briefly diverge, in
+// which case the primary's spec is authoritative, matching how the
+// paper's billing views the set).
+func (s *StatefulSet) CPULimit() int {
+	if p := s.Primary(); p != nil {
+		return int(p.CPULimit())
+	}
+	if len(s.Pods) > 0 {
+		return int(s.Pods[0].CPULimit())
+	}
+	return 0
+}

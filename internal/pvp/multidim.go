@@ -1,0 +1,161 @@
+package pvp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"caasper/internal/stats"
+)
+
+// This file implements the *general* Doppler formulation of Eq. 1 (paper
+// §4.1) that CaaSPER's CPU-only curve was refactored from:
+//
+//	P_n(SKU_i) = P(r_CPU > R_CPU_i ∪ r_RAM > R_RAM_i ∪ ... ∪ r_IOPS > R_IOPS_i)
+//
+// i.e. the empirical probability that *any* resource dimension of customer
+// n's usage exceeds SKU i's capacity in that dimension. Doppler uses it to
+// draw price-vs-performance curves over a catalog of cloud SKUs during
+// migration; the single-resource Curve in curve.go is the special case
+// with one dimension and a ladder of whole-core SKUs.
+//
+// The paper notes that dimensions may need small transformations (e.g. IO
+// latency is inverted so that "bigger is better" holds uniformly); callers
+// apply such transforms before constructing samples.
+
+// SKU describes one catalog entry with capacities per dimension and a
+// monthly price. Dimension names are free-form but must be consistent
+// across the catalog and the usage samples ("cpu", "ram_gib", "iops", ...).
+type SKU struct {
+	// Name identifies the SKU (e.g. "GP_Gen5_8").
+	Name string
+	// Capacity maps dimension name → maximum sustained capacity.
+	Capacity map[string]float64
+	// MonthlyPrice is the SKU's price.
+	MonthlyPrice float64
+}
+
+// UsageSample is one multi-dimensional resource observation.
+type UsageSample map[string]float64
+
+// MultiCurve is a Doppler price-vs-performance curve over a SKU catalog.
+type MultiCurve struct {
+	// Points are ordered by ascending price.
+	Points []MultiPoint
+}
+
+// MultiPoint is one SKU's position on the curve.
+type MultiPoint struct {
+	SKU SKU
+	// Performance is 1 − P(throttling) under Eq. 1.
+	Performance float64
+}
+
+// BuildMultiCurve evaluates Eq. 1 for every SKU against the usage
+// samples. Samples missing a dimension treat it as zero usage (cannot
+// exceed); SKUs missing a dimension present in a sample treat capacity as
+// zero (always exceeded) — a catalog mistake that surfaces as zero
+// performance rather than silently passing.
+func BuildMultiCurve(samples []UsageSample, catalog []SKU) (*MultiCurve, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("pvp: no usage samples")
+	}
+	if len(catalog) == 0 {
+		return nil, errors.New("pvp: empty SKU catalog")
+	}
+	for _, sku := range catalog {
+		if len(sku.Capacity) == 0 {
+			return nil, fmt.Errorf("pvp: SKU %q has no capacities", sku.Name)
+		}
+	}
+	points := make([]MultiPoint, 0, len(catalog))
+	for _, sku := range catalog {
+		var exceed int
+		for _, s := range samples {
+			if sampleExceeds(s, sku) {
+				exceed++
+			}
+		}
+		p := float64(exceed) / float64(len(samples))
+		points = append(points, MultiPoint{SKU: sku, Performance: 1 - p})
+	}
+	sort.SliceStable(points, func(i, j int) bool {
+		if points[i].SKU.MonthlyPrice != points[j].SKU.MonthlyPrice {
+			return points[i].SKU.MonthlyPrice < points[j].SKU.MonthlyPrice
+		}
+		return points[i].SKU.Name < points[j].SKU.Name
+	})
+	return &MultiCurve{Points: points}, nil
+}
+
+// sampleExceeds implements the union of Eq. 1 for one sample: true when
+// any dimension's usage exceeds the SKU's capacity (with the same "at the
+// cap counts as throttled" tolerance as the CPU-only curve).
+func sampleExceeds(s UsageSample, sku SKU) bool {
+	const eps = 0.02
+	for dim, usage := range s {
+		cap := sku.Capacity[dim] // missing dimension → 0 → exceeded
+		if usage > cap*(1-eps) {
+			return true
+		}
+	}
+	return false
+}
+
+// Recommend returns the cheapest SKU whose performance meets perfTarget,
+// mirroring Doppler's migration recommendation. It returns an error when
+// no SKU qualifies (the customer needs a bigger catalog).
+func (c *MultiCurve) Recommend(perfTarget float64) (SKU, error) {
+	perfTarget = stats.Clamp(perfTarget, 0, 1)
+	for _, p := range c.Points {
+		if p.Performance >= perfTarget {
+			return p.SKU, nil
+		}
+	}
+	return SKU{}, fmt.Errorf("pvp: no SKU reaches performance %.2f (best %.2f)",
+		perfTarget, c.bestPerformance())
+}
+
+func (c *MultiCurve) bestPerformance() float64 {
+	best := 0.0
+	for _, p := range c.Points {
+		if p.Performance > best {
+			best = p.Performance
+		}
+	}
+	return best
+}
+
+// Frontier returns the price-ascending points that strictly improve
+// performance — the curve a Doppler user is actually shown (dominated
+// SKUs carry no information).
+func (c *MultiCurve) Frontier() []MultiPoint {
+	var out []MultiPoint
+	best := -1.0
+	for _, p := range c.Points {
+		if p.Performance > best {
+			out = append(out, p)
+			best = p.Performance
+		}
+	}
+	return out
+}
+
+// CPUOnlyCatalog builds the whole-core SKU ladder that reduces the
+// multi-dimensional formulation to the CaaSPER special case — used in
+// tests to verify the two implementations agree.
+func CPUOnlyCatalog(r SKURange) []SKU {
+	price := r.PricePerCore
+	if price <= 0 {
+		price = 1
+	}
+	out := make([]SKU, 0, r.Count())
+	for cores := r.MinCores; cores <= r.MaxCores; cores++ {
+		out = append(out, SKU{
+			Name:         fmt.Sprintf("cpu-%d", cores),
+			Capacity:     map[string]float64{"cpu": float64(cores)},
+			MonthlyPrice: float64(cores) * price,
+		})
+	}
+	return out
+}

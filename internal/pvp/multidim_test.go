@@ -1,0 +1,172 @@
+package pvp
+
+import (
+	"testing"
+
+	"caasper/internal/stats"
+)
+
+func sampleCatalog() []SKU {
+	return []SKU{
+		{Name: "small", Capacity: map[string]float64{"cpu": 4, "ram_gib": 16, "iops": 3000}, MonthlyPrice: 100},
+		{Name: "medium", Capacity: map[string]float64{"cpu": 8, "ram_gib": 32, "iops": 6000}, MonthlyPrice: 200},
+		{Name: "large", Capacity: map[string]float64{"cpu": 16, "ram_gib": 64, "iops": 12000}, MonthlyPrice: 400},
+	}
+}
+
+func TestBuildMultiCurveValidation(t *testing.T) {
+	if _, err := BuildMultiCurve(nil, sampleCatalog()); err == nil {
+		t.Error("no samples should fail")
+	}
+	if _, err := BuildMultiCurve([]UsageSample{{"cpu": 1}}, nil); err == nil {
+		t.Error("empty catalog should fail")
+	}
+	bad := []SKU{{Name: "x"}}
+	if _, err := BuildMultiCurve([]UsageSample{{"cpu": 1}}, bad); err == nil {
+		t.Error("SKU without capacities should fail")
+	}
+}
+
+func TestMultiCurveUnionSemantics(t *testing.T) {
+	// The sample fits "small" on CPU but busts its IOPS: Eq. 1's union
+	// must count it as throttled for "small" yet fine for "medium".
+	samples := []UsageSample{
+		{"cpu": 2, "ram_gib": 8, "iops": 5000},
+	}
+	c, err := BuildMultiCurve(samples, sampleCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, p := range c.Points {
+		byName[p.SKU.Name] = p.Performance
+	}
+	if byName["small"] != 0 {
+		t.Errorf("small performance = %v, want 0 (IOPS busted)", byName["small"])
+	}
+	if byName["medium"] != 1 || byName["large"] != 1 {
+		t.Errorf("medium/large = %v/%v, want 1", byName["medium"], byName["large"])
+	}
+}
+
+func TestMultiCurveMissingDimensions(t *testing.T) {
+	// Sample dimension absent from a SKU's capacity → always exceeded.
+	samples := []UsageSample{{"gpu": 1}}
+	c, err := BuildMultiCurve(samples, sampleCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range c.Points {
+		if p.Performance != 0 {
+			t.Errorf("%s should be throttled on the unknown dimension", p.SKU.Name)
+		}
+	}
+	// SKU dimension absent from samples → cannot be exceeded.
+	samples = []UsageSample{{"cpu": 1}}
+	c, err = BuildMultiCurve(samples, sampleCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range c.Points {
+		if p.Performance != 1 {
+			t.Errorf("%s should be clean", p.SKU.Name)
+		}
+	}
+}
+
+func TestMultiCurveOrderingAndFrontier(t *testing.T) {
+	rng := stats.NewRNG(3)
+	var samples []UsageSample
+	for i := 0; i < 300; i++ {
+		samples = append(samples, UsageSample{
+			"cpu":     rng.Float64() * 10,
+			"ram_gib": rng.Float64() * 40,
+			"iops":    rng.Float64() * 8000,
+		})
+	}
+	c, err := BuildMultiCurve(samples, sampleCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Points sorted by price; performance monotone for a nested catalog.
+	for i := 1; i < len(c.Points); i++ {
+		if c.Points[i].SKU.MonthlyPrice < c.Points[i-1].SKU.MonthlyPrice {
+			t.Fatal("points not price-sorted")
+		}
+		if c.Points[i].Performance < c.Points[i-1].Performance {
+			t.Fatal("nested catalog should give monotone performance")
+		}
+	}
+	f := c.Frontier()
+	for i := 1; i < len(f); i++ {
+		if f[i].Performance <= f[i-1].Performance {
+			t.Fatal("frontier must strictly improve")
+		}
+	}
+}
+
+func TestMultiCurveRecommend(t *testing.T) {
+	samples := []UsageSample{
+		{"cpu": 6, "ram_gib": 20, "iops": 4000},
+		{"cpu": 3, "ram_gib": 10, "iops": 2000},
+	}
+	c, err := BuildMultiCurve(samples, sampleCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "small" throttles the first sample; "medium" covers both.
+	sku, err := c.Recommend(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sku.Name != "medium" {
+		t.Errorf("recommended %s, want medium (cheapest fully covering)", sku.Name)
+	}
+	// Half coverage is enough for the small SKU.
+	sku, err = c.Recommend(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sku.Name != "small" {
+		t.Errorf("recommended %s, want small at 50%% target", sku.Name)
+	}
+	// Unreachable target errors.
+	huge := []UsageSample{{"cpu": 1000}}
+	c2, _ := BuildMultiCurve(huge, sampleCatalog())
+	if _, err := c2.Recommend(1.0); err == nil {
+		t.Error("unreachable target should error")
+	}
+}
+
+func TestMultiCurveAgreesWithCPUOnlyCurve(t *testing.T) {
+	// The general Eq. 1 restricted to one CPU dimension must reproduce
+	// the CaaSPER curve exactly.
+	rng := stats.NewRNG(8)
+	usage := make([]float64, 500)
+	samples := make([]UsageSample, 500)
+	for i := range usage {
+		usage[i] = rng.Float64() * 12
+		samples[i] = UsageSample{"cpu": usage[i]}
+	}
+	r := SKURange{MinCores: 1, MaxCores: 16, PricePerCore: 1}
+	cpuCurve, err := BuildCurve(usage, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := BuildMultiCurve(samples, CPUOnlyCatalog(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(multi.Points) != len(cpuCurve.Points) {
+		t.Fatalf("lengths differ: %d vs %d", len(multi.Points), len(cpuCurve.Points))
+	}
+	for i := range multi.Points {
+		if multi.Points[i].Performance != cpuCurve.Points[i].Performance {
+			t.Errorf("SKU %d: multi %v vs cpu %v", i,
+				multi.Points[i].Performance, cpuCurve.Points[i].Performance)
+		}
+		if multi.Points[i].SKU.MonthlyPrice != cpuCurve.Points[i].MonthlyPrice {
+			t.Errorf("SKU %d price mismatch", i)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package recommend defines the pluggable recommender interface of the
+// vertical autoscaling loop (paper Figure 1, step 3) and the adapters that
+// expose CaaSPER's reactive and proactive algorithms through it. The
+// trace-driven simulator (internal/sim), the Kubernetes-substrate control
+// loop (internal/k8s) and every baseline (internal/baselines) speak this
+// interface, which is what makes the paper's recommender comparisons
+// possible.
+package recommend
+
+import (
+	"errors"
+
+	"caasper/internal/core"
+	"caasper/internal/forecast"
+)
+
+// Recommender is a pluggable vertical-scaling policy. Implementations are
+// fed one usage sample per metric interval via Observe and asked for a
+// target allocation at each decision tick via Recommend.
+//
+// Implementations must be deterministic given the same observation
+// sequence; they are exercised both by the simulator and by the live
+// control loop, and the paper's §5 correctness methodology (paired t-test
+// between simulated and live decision series) depends on it.
+type Recommender interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Observe records the usage (cores) measured during one metric
+	// interval. minute is the sample's time index.
+	Observe(minute int, usageCores float64)
+	// Recommend returns the desired core allocation given the current
+	// one. Returning currentCores means "hold".
+	Recommend(currentCores int) int
+	// Reset clears accumulated state so one instance can be reused
+	// across experiment runs.
+	Reset()
+}
+
+// Explainer is implemented by recommenders that can explain their most
+// recent recommendation in prose — the interpretability surface (R6) the
+// simulator and CLIs expose. Baselines deliberately do not implement it:
+// the paper's §3.3 complaint about them includes their opacity.
+type Explainer interface {
+	// Explain returns the last recommendation's explanation ("" when no
+	// recommendation has been made yet).
+	Explain() string
+}
+
+// CaaSPERReactive adapts core.Recommender to the Recommender interface:
+// it keeps a sliding usage window (the paper's "last 40 minutes of CPU
+// usage") and evaluates Algorithm 1 on it at each decision tick.
+type CaaSPERReactive struct {
+	algo   *core.Recommender
+	window int
+	// history holds all observed samples; Recommend evaluates the tail.
+	history []float64
+	// LastDecision exposes the most recent full decision (explanation,
+	// slope, branch) for interpretability surfaces.
+	LastDecision core.Decision
+}
+
+// NewCaaSPERReactive builds the reactive adapter. window is the number of
+// samples Algorithm 1 sees (40 in the paper's running configuration).
+func NewCaaSPERReactive(cfg core.Config, window int) (*CaaSPERReactive, error) {
+	if window < 1 {
+		return nil, errors.New("recommend: window must be ≥ 1")
+	}
+	algo, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &CaaSPERReactive{algo: algo, window: window}, nil
+}
+
+// Name implements Recommender.
+func (c *CaaSPERReactive) Name() string { return "caasper-reactive" }
+
+// Observe implements Recommender.
+func (c *CaaSPERReactive) Observe(_ int, usageCores float64) {
+	c.history = append(c.history, usageCores)
+}
+
+// Recommend implements Recommender.
+func (c *CaaSPERReactive) Recommend(currentCores int) int {
+	w := c.history
+	if len(w) > c.window {
+		w = w[len(w)-c.window:]
+	}
+	d, err := c.algo.Decide(currentCores, w)
+	if err != nil {
+		return currentCores // no usable signal: hold
+	}
+	c.LastDecision = d
+	return d.TargetCores
+}
+
+// Reset implements Recommender.
+func (c *CaaSPERReactive) Reset() {
+	c.history = c.history[:0]
+	c.LastDecision = core.Decision{}
+}
+
+// Explain implements Explainer.
+func (c *CaaSPERReactive) Explain() string { return c.LastDecision.Explanation }
+
+// CaaSPERProactive adapts core.Proactive: full history is retained so the
+// forecaster can learn the seasonal pattern, and each decision evaluates
+// Algorithm 1 on the combined observed+forecast window (Eq. 4).
+type CaaSPERProactive struct {
+	pro     *core.Proactive
+	history []float64
+	// LastUsedForecast reports whether the most recent decision
+	// incorporated the forecast (false during the warm-up period).
+	LastUsedForecast bool
+	// LastDecision exposes the most recent full decision.
+	LastDecision core.Decision
+}
+
+// NewCaaSPERProactive builds the proactive adapter. observedWindow and
+// horizon are o_n−o_f and o_f of Figure 8; minHistory is the warm-up
+// length (one full season) before forecasting activates.
+func NewCaaSPERProactive(cfg core.Config, f forecast.Forecaster, observedWindow, horizon, minHistory int) (*CaaSPERProactive, error) {
+	algo, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pro, err := core.NewProactive(algo, f, observedWindow, horizon, minHistory)
+	if err != nil {
+		return nil, err
+	}
+	return &CaaSPERProactive{pro: pro}, nil
+}
+
+// Name implements Recommender.
+func (c *CaaSPERProactive) Name() string { return "caasper-proactive" }
+
+// Observe implements Recommender.
+func (c *CaaSPERProactive) Observe(_ int, usageCores float64) {
+	c.history = append(c.history, usageCores)
+}
+
+// Recommend implements Recommender.
+func (c *CaaSPERProactive) Recommend(currentCores int) int {
+	d, used, err := c.pro.Decide(currentCores, c.history)
+	if err != nil {
+		return currentCores
+	}
+	c.LastUsedForecast = used
+	c.LastDecision = d
+	return d.TargetCores
+}
+
+// Reset implements Recommender.
+func (c *CaaSPERProactive) Reset() {
+	c.history = c.history[:0]
+	c.LastUsedForecast = false
+	c.LastDecision = core.Decision{}
+}
+
+// Explain implements Explainer.
+func (c *CaaSPERProactive) Explain() string { return c.LastDecision.Explanation }

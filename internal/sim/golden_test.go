@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"testing"
+
+	"caasper/internal/core"
+	"caasper/internal/recommend"
+	"caasper/internal/workload"
+)
+
+// Golden regression test: the exact resize sequence CaaSPER produces on
+// the fixed-seed workday trace. This pins the *behaviour* of Algorithm 1 +
+// simulator against accidental drift: any change to thresholds, curve
+// construction, rounding or the decision cadence shows up here first.
+//
+// The assertion is deliberately tolerant of tiny floating-point
+// differences across platforms: the resize count must match exactly and
+// at least 90% of individual resize records must match the golden
+// sequence; a genuine algorithm change breaks both.
+func TestGoldenWorkdayDecisionSequence(t *testing.T) {
+	tr := workload.Workday12h(42)
+	rec, err := recommend.NewCaaSPERReactive(core.DefaultConfig(8), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(tr, rec, DefaultOptions(8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	golden := []DecisionRecord{
+		{Minute: 10, From: 8, To: 4, EffectiveAt: 20},
+		{Minute: 80, From: 4, To: 3, EffectiveAt: 90},
+		{Minute: 100, From: 3, To: 4, EffectiveAt: 110},
+		{Minute: 170, From: 4, To: 3, EffectiveAt: 180},
+		{Minute: 190, From: 3, To: 6, EffectiveAt: 200},
+		{Minute: 210, From: 6, To: 7, EffectiveAt: 220},
+		{Minute: 580, From: 7, To: 5, EffectiveAt: 590},
+		{Minute: 610, From: 5, To: 4, EffectiveAt: 620},
+		{Minute: 630, From: 4, To: 3, EffectiveAt: 640},
+		{Minute: 640, From: 3, To: 4, EffectiveAt: 650},
+	}
+	if len(res.Decisions) != len(golden) {
+		t.Fatalf("resize count drifted: got %d, golden %d\n%+v",
+			len(res.Decisions), len(golden), res.Decisions)
+	}
+	matches := 0
+	for i := range golden {
+		got := res.Decisions[i]
+		if got.Minute == golden[i].Minute && got.From == golden[i].From &&
+			got.To == golden[i].To && got.EffectiveAt == golden[i].EffectiveAt {
+			matches++
+		}
+		// Every enacted CaaSPER decision must carry its explanation (R6).
+		if got.Explanation == "" {
+			t.Errorf("decision %d has no explanation", i)
+		}
+	}
+	if frac := float64(matches) / float64(len(golden)); frac < 0.9 {
+		t.Errorf("only %d/%d resize records match the golden sequence:\n got   %+v\n want %+v",
+			matches, len(golden), res.Decisions, golden)
+	}
+
+	// Headline metrics pinned with tolerance.
+	if res.NumScalings != 10 {
+		t.Errorf("scalings = %d, golden 10", res.NumScalings)
+	}
+	if res.BilledCorePeriods < 70 || res.BilledCorePeriods > 78 {
+		t.Errorf("billed = %v, golden ≈74", res.BilledCorePeriods)
+	}
+	if res.ThroughputProxy() < 0.97 {
+		t.Errorf("throughput = %v, golden ≈0.98", res.ThroughputProxy())
+	}
+}

@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"caasper/internal/recommend"
+	"caasper/internal/trace"
+)
+
+// RecommenderFactory builds a fresh recommender per run. Matrix runs need
+// factories rather than instances because recommenders are stateful and a
+// single instance must not leak history across cells.
+type RecommenderFactory struct {
+	// Name labels the column in reports.
+	Name string
+	// New builds a fresh instance.
+	New func() (recommend.Recommender, error)
+}
+
+// MatrixCell is one (trace, recommender) outcome.
+type MatrixCell struct {
+	TraceName       string
+	RecommenderName string
+	Result          *Result
+}
+
+// Matrix is the cross product of traces and recommender factories — the
+// harness behind "evaluate our system's performance against standard
+// workload traces" (§5 objective 2): every policy sees every trace under
+// identical simulator settings.
+type Matrix struct {
+	Cells []MatrixCell
+}
+
+// RunMatrix simulates every trace × factory combination. opts applies to
+// every cell except InitialCores/MaxCores, which are derived per trace
+// when opts.MaxCores is zero (traces of very different magnitudes need
+// different ladders).
+func RunMatrix(traces []*trace.Trace, factories []RecommenderFactory, opts Options) (*Matrix, error) {
+	if len(traces) == 0 {
+		return nil, errors.New("sim: no traces")
+	}
+	if len(factories) == 0 {
+		return nil, errors.New("sim: no recommender factories")
+	}
+	m := &Matrix{}
+	for _, tr := range traces {
+		cellOpts := opts
+		if cellOpts.MaxCores == 0 {
+			peak := 0.0
+			for _, v := range tr.Values {
+				if v > peak {
+					peak = v
+				}
+			}
+			cellOpts.MaxCores = int(peak*1.5) + 2
+			cellOpts.InitialCores = int(peak) + 1
+			if cellOpts.MinCores == 0 {
+				cellOpts.MinCores = 2
+			}
+			if cellOpts.InitialCores > cellOpts.MaxCores {
+				cellOpts.InitialCores = cellOpts.MaxCores
+			}
+		}
+		for _, f := range factories {
+			rec, err := f.New()
+			if err != nil {
+				return nil, fmt.Errorf("sim: building %s: %w", f.Name, err)
+			}
+			res, err := Run(tr, rec, cellOpts)
+			if err != nil {
+				return nil, fmt.Errorf("sim: %s on %s: %w", f.Name, tr.Name, err)
+			}
+			m.Cells = append(m.Cells, MatrixCell{
+				TraceName:       tr.Name,
+				RecommenderName: f.Name,
+				Result:          res,
+			})
+		}
+	}
+	return m, nil
+}
+
+// Cell returns the result for a (trace, recommender) pair, or nil.
+func (m *Matrix) Cell(traceName, recName string) *Result {
+	for _, c := range m.Cells {
+		if c.TraceName == traceName && c.RecommenderName == recName {
+			return c.Result
+		}
+	}
+	return nil
+}
+
+// Summary renders a compact comparison table: one row per cell with the
+// K/C/N metrics, throughput proxy and cost.
+func (m *Matrix) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %-20s %10s %10s %6s %10s %8s\n",
+		"trace", "recommender", "K", "C", "N", "thrpt", "cost")
+	for _, c := range m.Cells {
+		r := c.Result
+		fmt.Fprintf(&b, "%-14s %-20s %10.0f %10.1f %6d %9.1f%% %8.0f\n",
+			c.TraceName, c.RecommenderName, r.SumSlack, r.SumInsufficient,
+			r.NumScalings, r.ThroughputProxy()*100, r.BilledCorePeriods)
+	}
+	return b.String()
+}

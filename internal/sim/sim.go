@@ -1,0 +1,292 @@
+// Package sim implements the paper's §5 trace-driven autoscaling
+// simulator: it replays a CPU *demand* trace against a pluggable
+// recommender, models the resize latency of rolling updates, distinguishes
+// demand from the capped usage the recommender is allowed to observe, and
+// captures the three tuning metrics of §5 — total slack K(·), total
+// insufficient CPU C(·) and number of scalings N(·) — plus the billing
+// cost under the pay-as-you-go model.
+//
+// The central modelling decision (DESIGN.md §4): recommenders never see
+// demand. They see usage = min(demand, limits), exactly what a metrics
+// server reports for a cgroup-capped container. Throttling-blind policies
+// therefore under-scale on capped history, which is the §3.3 failure mode
+// the paper builds CaaSPER to escape.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"caasper/internal/billing"
+	"caasper/internal/recommend"
+	"caasper/internal/stats"
+	"caasper/internal/trace"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// InitialCores is the allocation at trace start.
+	InitialCores int
+	// MinCores / MaxCores are the scaler's safety clamps (Figure 1,
+	// step 5 performs "health and resource safety checks").
+	MinCores, MaxCores int
+	// DecisionEveryMinutes is the recommender polling cadence.
+	DecisionEveryMinutes int
+	// ResizeDelayMinutes models the rolling-update latency: a decision
+	// made at minute t takes effect at t+delay (5–15 min for Database A,
+	// 3–5 min for Database B, §6.1). While a resize is in flight no new
+	// decision is taken, mirroring the operator's serialization.
+	ResizeDelayMinutes int
+	// BillingPeriod is the pay-as-you-go metering period (default 1h).
+	BillingPeriod time.Duration
+	// PricePerCorePeriod is the unit price (default 1: report ratios).
+	PricePerCorePeriod float64
+	// WarmupMinutes delays the first decision, letting window-based
+	// recommenders accumulate signal. Defaults to DecisionEveryMinutes.
+	WarmupMinutes int
+}
+
+// DefaultOptions returns the configuration used across the experiments:
+// 10-minute decisions, 10-minute resizes, hourly billing.
+func DefaultOptions(initial, maxCores int) Options {
+	return Options{
+		InitialCores:         initial,
+		MinCores:             2,
+		MaxCores:             maxCores,
+		DecisionEveryMinutes: 10,
+		ResizeDelayMinutes:   10,
+		BillingPeriod:        time.Hour,
+		PricePerCorePeriod:   1,
+	}
+}
+
+// Validate checks option invariants.
+func (o Options) Validate() error {
+	if o.InitialCores < 1 {
+		return errors.New("sim: InitialCores must be ≥ 1")
+	}
+	if o.MinCores < 1 || o.MaxCores < o.MinCores {
+		return errors.New("sim: bad core bounds")
+	}
+	if o.DecisionEveryMinutes < 1 {
+		return errors.New("sim: DecisionEveryMinutes must be ≥ 1")
+	}
+	if o.ResizeDelayMinutes < 0 {
+		return errors.New("sim: ResizeDelayMinutes must be ≥ 0")
+	}
+	if o.BillingPeriod <= 0 {
+		return errors.New("sim: BillingPeriod must be positive")
+	}
+	return nil
+}
+
+// DecisionRecord captures one scaling decision for audit and for the §5
+// simulator-correctness t-tests.
+type DecisionRecord struct {
+	// Minute is when the decision was taken.
+	Minute int
+	// From and To are the allocations before and after.
+	From, To int
+	// EffectiveAt is when the new allocation took effect.
+	EffectiveAt int
+	// Explanation carries the recommender's prose account when it
+	// implements recommend.Explainer (R6); empty otherwise.
+	Explanation string
+}
+
+// Result aggregates a simulation run.
+type Result struct {
+	// TraceName and Recommender identify the run.
+	TraceName   string
+	Recommender string
+
+	// Minutes is the number of simulated one-minute steps.
+	Minutes int
+
+	// Limits, Usage and Demand are the per-minute series (cores).
+	Limits []float64
+	Usage  []float64
+	Demand []float64
+
+	// SumSlack is K(·): Σ max(0, limits − usage).
+	SumSlack float64
+	// SumInsufficient is C(·): Σ max(0, demand − limits).
+	SumInsufficient float64
+	// NumScalings is N(·): the number of enacted resizes.
+	NumScalings int
+
+	// ThrottledMinutes counts minutes with any insufficient CPU;
+	// ThrottledPct is their share of all minutes (Table 3's
+	// "Throttling Obvsns. %").
+	ThrottledMinutes int
+	ThrottledPct     float64
+
+	// AvgSlack and AvgInsufficient are per-minute means (Table 3).
+	AvgSlack        float64
+	AvgInsufficient float64
+
+	// BilledCorePeriods is the pay-as-you-go cost at unit price.
+	BilledCorePeriods float64
+
+	// Decisions records every enacted scaling.
+	Decisions []DecisionRecord
+
+	// DecisionSeries is the recommended target at every decision tick
+	// (including holds) — the series the §5 t-test compares.
+	DecisionSeries []float64
+}
+
+// ThroughputProxy estimates the fraction of demanded work the allocation
+// served: 1 − C/Σdemand. It is the simulator's stand-in for relative
+// throughput (the paper's OpenShift run throttled throughput to ~27%).
+func (r *Result) ThroughputProxy() float64 {
+	total := stats.Sum(r.Demand)
+	if total == 0 {
+		return 1
+	}
+	p := 1 - r.SumInsufficient/total
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// SlackReductionVs returns the fractional slack reduction of this run
+// against a baseline run (e.g. 0.783 for the paper's "reduced it by
+// 78.3%"). A zero-slack baseline yields 0.
+func (r *Result) SlackReductionVs(baseline *Result) float64 {
+	if baseline.SumSlack == 0 {
+		return 0
+	}
+	return 1 - r.SumSlack/baseline.SumSlack
+}
+
+// CostRatioVs returns cost(this)/cost(baseline), the paper's price form.
+func (r *Result) CostRatioVs(baseline *Result) float64 {
+	if baseline.BilledCorePeriods == 0 {
+		return 0
+	}
+	return r.BilledCorePeriods / baseline.BilledCorePeriods
+}
+
+// String renders the headline metrics.
+func (r *Result) String() string {
+	return fmt.Sprintf("Result{%s/%s: K=%.0f C=%.1f N=%d throttled=%.2f%% cost=%.0f}",
+		r.TraceName, r.Recommender, r.SumSlack, r.SumInsufficient, r.NumScalings,
+		r.ThrottledPct*100, r.BilledCorePeriods)
+}
+
+// Run replays the demand trace through the recommender. The trace must be
+// on a one-minute grid (call Trace.Resample first otherwise).
+func Run(tr *trace.Trace, rec recommend.Recommender, opts Options) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if tr == nil || tr.Len() == 0 {
+		return nil, errors.New("sim: empty trace")
+	}
+	if tr.Interval != time.Minute {
+		return nil, fmt.Errorf("sim: trace interval %v, want 1m (resample first)", tr.Interval)
+	}
+
+	meter, err := billing.NewMeter(opts.PricePerCorePeriod, opts.BillingPeriod, time.Minute)
+	if err != nil {
+		return nil, err
+	}
+
+	warmup := opts.WarmupMinutes
+	if warmup <= 0 {
+		warmup = opts.DecisionEveryMinutes
+	}
+
+	n := tr.Len()
+	res := &Result{
+		TraceName:   tr.Name,
+		Recommender: rec.Name(),
+		Minutes:     n,
+		Limits:      make([]float64, n),
+		Usage:       make([]float64, n),
+		Demand:      make([]float64, n),
+	}
+
+	limit := stats.ClampInt(opts.InitialCores, opts.MinCores, opts.MaxCores)
+	pendingTarget := -1
+	pendingAt := -1
+
+	// Defensive copy + sanitisation: real metric pipelines emit NaN/Inf
+	// gaps around restarts; the accounting below must never propagate
+	// them into K/C or the billing meter.
+	demandSeries := append([]float64(nil), tr.Values...)
+	for i, v := range demandSeries {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			demandSeries[i] = 0
+		}
+	}
+
+	var pendingExplanation string
+	enact := func(t int) {
+		if pendingTarget != limit {
+			res.Decisions = append(res.Decisions, DecisionRecord{
+				Minute:      pendingAt - opts.ResizeDelayMinutes,
+				From:        limit,
+				To:          pendingTarget,
+				EffectiveAt: t,
+				Explanation: pendingExplanation,
+			})
+			res.NumScalings++
+			limit = pendingTarget
+		}
+		pendingTarget, pendingAt = -1, -1
+		pendingExplanation = ""
+	}
+
+	for t := 0; t < n; t++ {
+		// Enact a completed resize before metering the minute.
+		if pendingTarget >= 0 && t >= pendingAt {
+			enact(t)
+		}
+
+		demand := demandSeries[t]
+		capf := float64(limit)
+		usage := math.Min(demand, capf)
+
+		res.Demand[t] = demand
+		res.Usage[t] = usage
+		res.Limits[t] = capf
+		res.SumSlack += capf - usage
+		if insuff := demand - capf; insuff > 0 {
+			res.SumInsufficient += insuff
+			res.ThrottledMinutes++
+		}
+
+		rec.Observe(t, usage)
+		meter.Record(capf)
+
+		// Decision tick: only when idle (no resize in flight).
+		if t >= warmup && t%opts.DecisionEveryMinutes == 0 && pendingTarget < 0 {
+			target := stats.ClampInt(rec.Recommend(limit), opts.MinCores, opts.MaxCores)
+			res.DecisionSeries = append(res.DecisionSeries, float64(target))
+			if target != limit {
+				pendingTarget = target
+				pendingAt = t + opts.ResizeDelayMinutes
+				if ex, ok := rec.(recommend.Explainer); ok {
+					pendingExplanation = ex.Explain()
+				}
+				if opts.ResizeDelayMinutes == 0 {
+					// Instant (in-place-style) resizes take effect at
+					// the decision tick itself.
+					enact(t)
+				}
+			}
+		}
+	}
+
+	meter.Flush()
+	res.BilledCorePeriods = meter.BilledCorePeriods()
+	res.ThrottledPct = float64(res.ThrottledMinutes) / float64(n)
+	res.AvgSlack = res.SumSlack / float64(n)
+	res.AvgInsufficient = res.SumInsufficient / float64(n)
+	return res, nil
+}

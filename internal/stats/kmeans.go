@@ -1,0 +1,191 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// KMeansResult holds the outcome of a k-means clustering run.
+type KMeansResult struct {
+	// Centroids are the final cluster centres, one per cluster.
+	Centroids [][]float64
+	// Assignments maps each input point to its cluster index.
+	Assignments []int
+	// Inertia is the total within-cluster sum of squared distances.
+	Inertia float64
+	// Iterations is the number of Lloyd iterations performed.
+	Iterations int
+}
+
+// KMeans clusters the points into k clusters using Lloyd's algorithm with
+// k-means++ seeding. The paper (§6.3) uses k-means over trace feature
+// vectors to select representative Alibaba workloads; internal/experiments
+// does the same over synthetic trace features.
+//
+// rng supplies determinism; points must be non-empty, all of equal
+// dimension, and k must satisfy 1 ≤ k ≤ len(points).
+func KMeans(points [][]float64, k int, maxIter int, rng *RNG) (KMeansResult, error) {
+	if len(points) == 0 {
+		return KMeansResult{}, ErrEmpty
+	}
+	if k < 1 || k > len(points) {
+		return KMeansResult{}, errors.New("stats: k out of range")
+	}
+	dim := len(points[0])
+	for _, p := range points {
+		if len(p) != dim {
+			return KMeansResult{}, errors.New("stats: inconsistent point dimensions")
+		}
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	if rng == nil {
+		rng = NewRNG(1)
+	}
+
+	centroids := kmeansPPSeed(points, k, rng)
+	assign := make([]int, len(points))
+	var iter int
+	for iter = 0; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, cen := range centroids {
+				d := sqDist(p, cen)
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids.
+		counts := make([]int, k)
+		next := make([][]float64, k)
+		for c := range next {
+			next[c] = make([]float64, dim)
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for j, v := range p {
+				next[c][j] += v
+			}
+		}
+		for c := range next {
+			if counts[c] == 0 {
+				// Empty cluster: re-seed on the farthest point.
+				next[c] = append([]float64(nil), farthestPoint(points, centroids)...)
+				continue
+			}
+			for j := range next[c] {
+				next[c][j] /= float64(counts[c])
+			}
+		}
+		centroids = next
+	}
+
+	var inertia float64
+	for i, p := range points {
+		inertia += sqDist(p, centroids[assign[i]])
+	}
+	return KMeansResult{
+		Centroids:   centroids,
+		Assignments: assign,
+		Inertia:     inertia,
+		Iterations:  iter,
+	}, nil
+}
+
+// Representatives returns, for each cluster, the index of the input point
+// closest to that cluster's centroid — the "representative trace" selection
+// used in the paper's Alibaba evaluation.
+func (r KMeansResult) Representatives(points [][]float64) []int {
+	reps := make([]int, len(r.Centroids))
+	best := make([]float64, len(r.Centroids))
+	for c := range best {
+		best[c] = math.Inf(1)
+		reps[c] = -1
+	}
+	for i, p := range points {
+		c := r.Assignments[i]
+		d := sqDist(p, r.Centroids[c])
+		if d < best[c] {
+			best[c] = d
+			reps[c] = i
+		}
+	}
+	return reps
+}
+
+func kmeansPPSeed(points [][]float64, k int, rng *RNG) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	first := rng.Intn(len(points))
+	centroids = append(centroids, clonePoint(points[first]))
+	dists := make([]float64, len(points))
+	for len(centroids) < k {
+		var total float64
+		for i, p := range points {
+			d := math.Inf(1)
+			for _, c := range centroids {
+				if dd := sqDist(p, c); dd < d {
+					d = dd
+				}
+			}
+			dists[i] = d
+			total += d
+		}
+		if total == 0 {
+			// All points coincide with existing centroids; duplicate one.
+			centroids = append(centroids, clonePoint(points[rng.Intn(len(points))]))
+			continue
+		}
+		target := rng.Float64() * total
+		var cum float64
+		chosen := len(points) - 1
+		for i, d := range dists {
+			cum += d
+			if cum >= target {
+				chosen = i
+				break
+			}
+		}
+		centroids = append(centroids, clonePoint(points[chosen]))
+	}
+	return centroids
+}
+
+func farthestPoint(points, centroids [][]float64) []float64 {
+	bestIdx, bestD := 0, -1.0
+	for i, p := range points {
+		d := math.Inf(1)
+		for _, c := range centroids {
+			if dd := sqDist(p, c); dd < d {
+				d = dd
+			}
+		}
+		if d > bestD {
+			bestD, bestIdx = d, i
+		}
+	}
+	return points[bestIdx]
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func clonePoint(p []float64) []float64 {
+	return append([]float64(nil), p...)
+}

@@ -1,0 +1,218 @@
+package stats
+
+import (
+	"testing"
+)
+
+func TestKMeansValidation(t *testing.T) {
+	if _, err := KMeans(nil, 1, 10, NewRNG(1)); err != ErrEmpty {
+		t.Errorf("empty points err = %v", err)
+	}
+	pts := [][]float64{{1}, {2}}
+	if _, err := KMeans(pts, 0, 10, NewRNG(1)); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := KMeans(pts, 3, 10, NewRNG(1)); err == nil {
+		t.Error("k>n should error")
+	}
+	bad := [][]float64{{1, 2}, {1}}
+	if _, err := KMeans(bad, 1, 10, NewRNG(1)); err == nil {
+		t.Error("inconsistent dims should error")
+	}
+}
+
+func TestKMeansSeparatesObviousClusters(t *testing.T) {
+	rng := NewRNG(5)
+	var pts [][]float64
+	// Two well-separated blobs around (0,0) and (100,100).
+	for i := 0; i < 50; i++ {
+		pts = append(pts, []float64{rng.NormFloat64(), rng.NormFloat64()})
+	}
+	for i := 0; i < 50; i++ {
+		pts = append(pts, []float64{100 + rng.NormFloat64(), 100 + rng.NormFloat64()})
+	}
+	res, err := KMeans(pts, 2, 100, NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All points in the first blob share a cluster distinct from the second.
+	first := res.Assignments[0]
+	for i := 1; i < 50; i++ {
+		if res.Assignments[i] != first {
+			t.Fatalf("blob 1 split: point %d in cluster %d", i, res.Assignments[i])
+		}
+	}
+	second := res.Assignments[50]
+	if second == first {
+		t.Fatal("blobs merged into one cluster")
+	}
+	for i := 51; i < 100; i++ {
+		if res.Assignments[i] != second {
+			t.Fatalf("blob 2 split: point %d in cluster %d", i, res.Assignments[i])
+		}
+	}
+}
+
+func TestKMeansK1(t *testing.T) {
+	pts := [][]float64{{1, 0}, {3, 0}, {5, 0}}
+	res, err := KMeans(pts, 1, 10, NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(res.Centroids[0][0], 3, 1e-9) {
+		t.Errorf("centroid = %v, want x=3", res.Centroids[0])
+	}
+	for _, a := range res.Assignments {
+		if a != 0 {
+			t.Error("all points should be in cluster 0")
+		}
+	}
+}
+
+func TestKMeansKEqualsN(t *testing.T) {
+	pts := [][]float64{{0}, {10}, {20}}
+	res, err := KMeans(pts, 3, 50, NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia > 1e-9 {
+		t.Errorf("k=n should give zero inertia, got %v", res.Inertia)
+	}
+	seen := map[int]bool{}
+	for _, a := range res.Assignments {
+		seen[a] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("expected 3 distinct clusters, got %d", len(seen))
+	}
+}
+
+func TestKMeansIdenticalPoints(t *testing.T) {
+	pts := [][]float64{{5, 5}, {5, 5}, {5, 5}, {5, 5}}
+	res, err := KMeans(pts, 2, 20, NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia > 1e-9 {
+		t.Errorf("identical points inertia = %v", res.Inertia)
+	}
+}
+
+func TestKMeansDeterminism(t *testing.T) {
+	rng := NewRNG(11)
+	var pts [][]float64
+	for i := 0; i < 40; i++ {
+		pts = append(pts, []float64{rng.Float64() * 10, rng.Float64() * 10})
+	}
+	r1, err := KMeans(pts, 4, 100, NewRNG(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := KMeans(pts, 4, 100, NewRNG(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Assignments {
+		if r1.Assignments[i] != r2.Assignments[i] {
+			t.Fatal("same seed should give identical assignments")
+		}
+	}
+	if r1.Inertia != r2.Inertia {
+		t.Error("same seed should give identical inertia")
+	}
+}
+
+func TestKMeansRepresentatives(t *testing.T) {
+	pts := [][]float64{{0}, {1}, {2}, {100}, {101}, {102}}
+	res, err := KMeans(pts, 2, 100, NewRNG(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := res.Representatives(pts)
+	if len(reps) != 2 {
+		t.Fatalf("reps = %v", reps)
+	}
+	// Each representative should be the middle point of its blob.
+	for _, r := range reps {
+		v := pts[r][0]
+		if v != 1 && v != 101 {
+			t.Errorf("representative %v not at a blob centre", v)
+		}
+	}
+}
+
+func TestRNGDeterminismAndRanges(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	r := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		if n := r.Intn(10); n < 0 || n >= 10 {
+			t.Fatalf("Intn out of range: %v", n)
+		}
+		if v := r.Range(5, 7); v < 5 || v >= 7 {
+			t.Fatalf("Range out of range: %v", v)
+		}
+	}
+	// Zero seed must still work.
+	z := NewRNG(0)
+	if z.Uint64() == 0 && z.Uint64() == 0 {
+		t.Error("zero-seeded RNG looks degenerate")
+	}
+}
+
+func TestRNGNormFloat64Moments(t *testing.T) {
+	r := NewRNG(1234)
+	n := 50000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if mean < -0.05 || mean > 0.05 {
+		t.Errorf("normal mean = %v, want ≈0", mean)
+	}
+	if variance < 0.9 || variance > 1.1 {
+		t.Errorf("normal variance = %v, want ≈1", variance)
+	}
+}
+
+func TestRNGLogUniform(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		v := r.LogUniform(-3, 3) // e^-3 .. e^3
+		if v < 0.0497 || v > 20.1 {
+			t.Fatalf("LogUniform out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(4)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGFork(t *testing.T) {
+	r := NewRNG(8)
+	c1 := r.Fork()
+	c2 := r.Fork()
+	if c1.Uint64() == c2.Uint64() {
+		t.Error("forked streams should differ")
+	}
+}

@@ -1,0 +1,266 @@
+// Package stats provides the statistical primitives that the CaaSPER
+// autoscaler and its evaluation harness are built on: descriptive statistics
+// (means, variances, quantiles, skewness), an exponentially decaying
+// histogram (the primitive behind the Kubernetes VPA baseline), a paired
+// Student t-test (used to validate simulator correctness, paper §5), k-means
+// clustering (used to select representative traces, paper §6.3), and a small
+// deterministic random-number façade.
+//
+// Everything in this package is purely computational: no goroutines, no
+// wall-clock time, no allocation beyond what the inputs require. All
+// functions treat NaN and Inf inputs as programmer error unless documented
+// otherwise.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that cannot operate on empty samples.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Sum returns the sum of xs. An empty slice sums to zero.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs, or zero for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Variance returns the unbiased (n-1) sample variance of xs.
+// Samples of size < 2 have zero variance by convention.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Min returns the minimum of xs. It panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between closest ranks (the "R-7" method used by most
+// statistics packages). It returns an error for an empty sample and clamps
+// q into [0, 1].
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q), nil
+}
+
+// QuantileSorted is Quantile for inputs already sorted ascending. It avoids
+// the defensive copy; callers on hot paths (the simulator evaluates a
+// quantile per decision) should sort once and reuse.
+func QuantileSorted(sorted []float64, q float64) (float64, error) {
+	if len(sorted) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	return quantileSorted(sorted, q), nil
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Skewness returns the Fisher–Pearson moment coefficient of skewness of xs
+// (the adjusted, bias-corrected version used by common statistics packages).
+// Samples of size < 3 or with zero variance have zero skewness by convention.
+//
+// CaaSPER uses the skewness of the PvP-curve slope distribution to modulate
+// the scaling factor (paper Eq. 3): a strongly skewed slope distribution
+// means the probability mass of the usage distribution is concentrated at
+// one end, and scaling should be correspondingly more aggressive.
+func Skewness(xs []float64) float64 {
+	n := float64(len(xs))
+	if n < 3 {
+		return 0
+	}
+	m := Mean(xs)
+	var m2, m3 float64
+	for _, x := range xs {
+		d := x - m
+		m2 += d * d
+		m3 += d * d * d
+	}
+	m2 /= n
+	m3 /= n
+	if m2 <= 0 {
+		return 0
+	}
+	g1 := m3 / math.Pow(m2, 1.5)
+	// Bias correction: G1 = g1 * sqrt(n(n-1)) / (n-2).
+	return g1 * math.Sqrt(n*(n-1)) / (n - 2)
+}
+
+// Slopes returns the forward differences of ys: out[i] = ys[i+1] - ys[i].
+// The result has length len(ys)-1; a slice shorter than 2 yields nil.
+func Slopes(ys []float64) []float64 {
+	if len(ys) < 2 {
+		return nil
+	}
+	out := make([]float64, len(ys)-1)
+	for i := 0; i+1 < len(ys); i++ {
+		out[i] = ys[i+1] - ys[i]
+	}
+	return out
+}
+
+// LinearFit fits y = a + b*x by ordinary least squares and returns the
+// intercept a and slope b. xs and ys must have equal length ≥ 2; degenerate
+// inputs (zero x-variance) yield b = 0 and a = mean(ys).
+func LinearFit(xs, ys []float64) (a, b float64, err error) {
+	if len(xs) != len(ys) {
+		return 0, 0, errors.New("stats: LinearFit length mismatch")
+	}
+	if len(xs) < 2 {
+		return 0, 0, ErrEmpty
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		sxx += dx * dx
+		sxy += dx * (ys[i] - my)
+	}
+	if sxx == 0 {
+		return my, 0, nil
+	}
+	b = sxy / sxx
+	a = my - b*mx
+	return a, b, nil
+}
+
+// Clamp limits v to the inclusive range [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ClampInt limits v to the inclusive range [lo, hi].
+func ClampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// MAE returns the mean absolute error between predictions and actuals.
+func MAE(pred, actual []float64) (float64, error) {
+	if len(pred) != len(actual) {
+		return 0, errors.New("stats: MAE length mismatch")
+	}
+	if len(pred) == 0 {
+		return 0, ErrEmpty
+	}
+	var s float64
+	for i := range pred {
+		s += math.Abs(pred[i] - actual[i])
+	}
+	return s / float64(len(pred)), nil
+}
+
+// MAPE returns the mean absolute percentage error between predictions and
+// actuals, skipping points where the actual value is zero (they would
+// otherwise divide by zero). If every actual is zero it returns ErrEmpty.
+func MAPE(pred, actual []float64) (float64, error) {
+	if len(pred) != len(actual) {
+		return 0, errors.New("stats: MAPE length mismatch")
+	}
+	var s float64
+	var n int
+	for i := range pred {
+		if actual[i] == 0 {
+			continue
+		}
+		s += math.Abs((pred[i] - actual[i]) / actual[i])
+		n++
+	}
+	if n == 0 {
+		return 0, ErrEmpty
+	}
+	return s / float64(n), nil
+}

@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPairedTTestValidation(t *testing.T) {
+	if _, err := PairedTTest([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := PairedTTest([]float64{1}, []float64{1}); err == nil {
+		t.Error("n<2 should error")
+	}
+}
+
+func TestPairedTTestIdenticalSamples(t *testing.T) {
+	a := []float64{3, 4, 5, 6, 7}
+	r, err := PairedTTest(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.P != 1 || r.T != 0 || r.MeanDiff != 0 {
+		t.Errorf("identical samples: %+v, want P=1 T=0", r)
+	}
+	if r.Significant(0.05) {
+		t.Error("identical samples should not be significant")
+	}
+}
+
+func TestPairedTTestConstantShift(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{2, 3, 4, 5} // exact shift, zero-variance differences
+	r, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.P != 0 {
+		t.Errorf("constant nonzero shift should give P=0, got %v", r.P)
+	}
+	if !r.Significant(0.05) {
+		t.Error("constant shift should be significant")
+	}
+}
+
+func TestPairedTTestKnownValue(t *testing.T) {
+	// Classic textbook example: diffs = {1, 2, 3, 4, 5} shifted around 0.
+	a := []float64{10, 12, 9, 14, 11}
+	b := []float64{9, 10, 7, 11, 9}
+	// diffs = {1, 2, 2, 3, 2}; mean=2, sd=sqrt(0.5), t = 2/(sqrt(0.5)/sqrt(5)) ≈ 6.325.
+	r, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r.T, 6.3245553, 1e-5) {
+		t.Errorf("T = %v, want ≈6.3246", r.T)
+	}
+	if r.DF != 4 {
+		t.Errorf("DF = %d, want 4", r.DF)
+	}
+	// Two-sided p for t=6.3246, df=4 ≈ 0.00320.
+	if !almostEqual(r.P, 0.0032, 5e-4) {
+		t.Errorf("P = %v, want ≈0.0032", r.P)
+	}
+}
+
+func TestPairedTTestNoisyEquivalentSamples(t *testing.T) {
+	// Two series that differ only by symmetric noise should not be
+	// significantly different — this is the simulator-correctness check
+	// shape from paper §5.
+	rng := NewRNG(99)
+	n := 200
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		base := 5 + 3*math.Sin(float64(i)/10)
+		a[i] = base + rng.NormFloat64()*0.2
+		b[i] = base + rng.NormFloat64()*0.2
+	}
+	r, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Significant(0.05) {
+		t.Errorf("equivalent noisy series flagged significant: %+v", r)
+	}
+}
+
+func TestPairedTTestDetectsRealShift(t *testing.T) {
+	rng := NewRNG(123)
+	n := 100
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = rng.NormFloat64()
+		b[i] = a[i] + 1.0 + rng.NormFloat64()*0.1
+	}
+	r, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Significant(0.05) {
+		t.Errorf("clear shift not detected: %+v", r)
+	}
+	if r.MeanDiff >= 0 {
+		t.Errorf("MeanDiff = %v, want negative (a < b)", r.MeanDiff)
+	}
+}
+
+func TestRegIncBetaBounds(t *testing.T) {
+	if got := regIncBeta(2, 3, 0); got != 0 {
+		t.Errorf("I_0 = %v", got)
+	}
+	if got := regIncBeta(2, 3, 1); got != 1 {
+		t.Errorf("I_1 = %v", got)
+	}
+	// I_x(1,1) = x (uniform distribution CDF).
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.9} {
+		if got := regIncBeta(1, 1, x); !almostEqual(got, x, 1e-10) {
+			t.Errorf("I_%v(1,1) = %v, want %v", x, got, x)
+		}
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	for _, x := range []float64{0.2, 0.4, 0.6, 0.8} {
+		lhs := regIncBeta(2.5, 4, x)
+		rhs := 1 - regIncBeta(4, 2.5, 1-x)
+		if !almostEqual(lhs, rhs, 1e-10) {
+			t.Errorf("symmetry broken at x=%v: %v vs %v", x, lhs, rhs)
+		}
+	}
+}
+
+func TestStudentTSFKnownValues(t *testing.T) {
+	// P(T > 0) = 0.5 for any df.
+	if got := studentTSF(0, 10); got != 0.5 {
+		t.Errorf("SF(0) = %v", got)
+	}
+	// df=1 (Cauchy): P(T > 1) = 0.25.
+	if got := studentTSF(1, 1); !almostEqual(got, 0.25, 1e-6) {
+		t.Errorf("SF(1, df=1) = %v, want 0.25", got)
+	}
+	// Large df approaches the normal tail: P(Z > 1.96) ≈ 0.025.
+	if got := studentTSF(1.96, 10000); !almostEqual(got, 0.025, 1e-3) {
+		t.Errorf("SF(1.96, df=1e4) = %v, want ≈0.025", got)
+	}
+}

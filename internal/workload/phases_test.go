@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"caasper/internal/trace"
+)
+
+// trace30s builds a 3-sample trace at 30-second resolution for the
+// sub-minute TracePattern test.
+func trace30s() *trace.Trace {
+	return trace.New("fine", 30*time.Second, []float64{10, 20, 30})
+}
+
+func TestMixAtWithoutPhases(t *testing.T) {
+	ls := &LoadSchedule{Mix: TPCCMix()}
+	if got := ls.MixAt(500); len(got) != len(TPCCMix()) {
+		t.Error("phase-less schedule should return Mix")
+	}
+}
+
+func TestMixAtPhaseBoundaries(t *testing.T) {
+	light, heavy := YCSBMix(), TPCHMix()
+	ls := &LoadSchedule{
+		Mix: light,
+		Phases: []MixPhase{
+			{Mix: light, Minutes: 60},
+			{Mix: heavy, Minutes: 120},
+			{Mix: light, Minutes: 60},
+		},
+	}
+	cases := []struct {
+		minute float64
+		write  float64 // expected write fraction identifies the mix
+	}{
+		{0, 0.5},     // ycsb
+		{59.9, 0.5},  // still ycsb
+		{60, 0},      // tpch (read-only)
+		{179.9, 0},   // still tpch
+		{180, 0.5},   // ycsb again
+		{10000, 0.5}, // past the end: last phase holds
+	}
+	for _, c := range cases {
+		if got := ls.MixAt(c.minute).WriteFraction(); got != c.write {
+			t.Errorf("MixAt(%v) write fraction = %v, want %v", c.minute, got, c.write)
+		}
+	}
+}
+
+func TestCPUDemandPatternHonoursPhases(t *testing.T) {
+	light, heavy := YCSBMix(), TPCHMix()
+	ls := &LoadSchedule{
+		Mix: light,
+		Phases: []MixPhase{
+			{Mix: light, Minutes: 60},
+			{Mix: heavy, Minutes: 60},
+		},
+		Rate:     Constant(10),
+		Duration: 2 * time.Hour,
+	}
+	demand := ls.CPUDemandPattern()
+	lightDemand := demand(30)
+	heavyDemand := demand(90)
+	if math.Abs(lightDemand-10*light.MeanCPUSeconds()) > 1e-12 {
+		t.Errorf("light demand = %v", lightDemand)
+	}
+	if math.Abs(heavyDemand-10*heavy.MeanCPUSeconds()) > 1e-12 {
+		t.Errorf("heavy demand = %v", heavyDemand)
+	}
+	if heavyDemand <= lightDemand {
+		t.Error("tpch phase should demand far more CPU")
+	}
+}
+
+func TestTracePattern(t *testing.T) {
+	tr := Render("tp", Constant(0), 3*time.Minute)
+	tr.Values[0], tr.Values[1], tr.Values[2] = 1, 2, 3
+	p := TracePattern(tr)
+	if p(0) != 1 || p(0.5) != 1 || p(1) != 2 || p(2.9) != 3 {
+		t.Errorf("TracePattern lookups wrong: %v %v %v %v", p(0), p(0.5), p(1), p(2.9))
+	}
+	// Past the end clamps to the last sample.
+	if p(100) != 3 {
+		t.Errorf("clamp = %v", p(100))
+	}
+	// Sub-minute intervals index correctly.
+	fine := trace30s()
+	pf := TracePattern(fine)
+	if pf(0) != 10 || pf(0.5) != 20 || pf(1) != 30 {
+		t.Errorf("30s pattern: %v %v %v", pf(0), pf(0.5), pf(1))
+	}
+}
