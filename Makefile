@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test race bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+# Full verification gate: vet + build + race tests + benchmark smoke.
+check:
+	sh scripts/check.sh

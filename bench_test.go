@@ -193,7 +193,7 @@ func BenchmarkAblationInPlace(b *testing.B) {
 
 func BenchmarkAblationHorizon(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationHorizon(1)
+		res, err := experiments.AblationHorizon(1, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

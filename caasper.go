@@ -284,8 +284,16 @@ type TuningEvaluation = tuning.Evaluation
 // RandomSearch evaluates random parameter combinations on a trace.
 var RandomSearch = tuning.RandomSearch
 
+// RandomSearchReport is RandomSearch plus a TuningReport describing how
+// many sampled combinations were actually evaluated versus skipped.
+var RandomSearchReport = tuning.RandomSearchReport
+
 // TuningOptions configures RandomSearch.
 type TuningOptions = tuning.SearchOptions
+
+// TuningReport summarises a RandomSearchReport run (sampled / evaluated /
+// skipped counts and the first skip's reason).
+type TuningReport = tuning.SearchReport
 
 // ParetoFrontier extracts the non-dominated (K, C) evaluations.
 var ParetoFrontier = tuning.ParetoFrontier

@@ -33,6 +33,7 @@ func main() {
 		recommenders = flag.String("recommenders", "control,caasper,caasper-proactive,vpa,openshift,autopilot", "comma-separated policies")
 		seed         = flag.Uint64("seed", 1, "workload seed")
 		season       = flag.Int("season", 1440, "seasonal period for the proactive policy (minutes)")
+		workers      = flag.Int("workers", 0, "worker goroutines for matrix cells (default: GOMAXPROCS; the table is identical for any value)")
 	)
 	flag.Parse()
 
@@ -49,6 +50,7 @@ func main() {
 		DecisionEveryMinutes: 10,
 		ResizeDelayMinutes:   10,
 		BillingPeriod:        time.Hour,
+		Workers:              *workers,
 	})
 	if err != nil {
 		fatal(err)

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -16,75 +17,76 @@ import (
 	"strings"
 
 	"caasper/internal/experiments"
+	"caasper/internal/parallel"
 )
 
 type runner struct {
 	id  string
 	doc string
-	fn  func(seed uint64, samples int) (string, error)
+	fn  func(seed uint64, samples, workers int) (string, error)
 }
 
 var runners = []runner{
-	{"fig3", "recommender comparison on the 62h step workload (§3.3)", func(seed uint64, _ int) (string, error) {
+	{"fig3", "recommender comparison on the 62h step workload (§3.3)", func(seed uint64, _, _ int) (string, error) {
 		r, err := experiments.Figure3(seed)
 		if err != nil {
 			return "", err
 		}
 		return r.Report, nil
 	}},
-	{"fig4", "slope-driven scale-up example (§4.2)", func(seed uint64, _ int) (string, error) {
+	{"fig4", "slope-driven scale-up example (§4.2)", func(seed uint64, _, _ int) (string, error) {
 		r, err := experiments.Figure4(seed)
 		if err != nil {
 			return "", err
 		}
 		return r.Report, nil
 	}},
-	{"fig5", "PvP curves: throttled vs right-sized (§4.2)", func(seed uint64, _ int) (string, error) {
+	{"fig5", "PvP curves: throttled vs right-sized (§4.2)", func(seed uint64, _, _ int) (string, error) {
 		r, err := experiments.Figure5(seed)
 		if err != nil {
 			return "", err
 		}
 		return r.Report, nil
 	}},
-	{"fig6", "scaling-factor function shape (§4.2)", func(uint64, int) (string, error) {
+	{"fig6", "scaling-factor function shape (§4.2)", func(uint64, int, int) (string, error) {
 		return experiments.Figure6().Report, nil
 	}},
-	{"fig7", "typical vs flat PvP curves, walk-down (§4.2)", func(seed uint64, _ int) (string, error) {
+	{"fig7", "typical vs flat PvP curves, walk-down (§4.2)", func(seed uint64, _, _ int) (string, error) {
 		r, err := experiments.Figure7(seed)
 		if err != nil {
 			return "", err
 		}
 		return r.Report, nil
 	}},
-	{"fig9", "live 12h workday on Database A + Table 1 (§6.2)", func(seed uint64, _ int) (string, error) {
+	{"fig9", "live 12h workday on Database A + Table 1 (§6.2)", func(seed uint64, _, _ int) (string, error) {
 		r, err := experiments.Figure9Table1(seed)
 		if err != nil {
 			return "", err
 		}
 		return r.Report, nil
 	}},
-	{"fig10", "live 3-day cyclical on Database B + Table 1 (§6.2)", func(seed uint64, _ int) (string, error) {
+	{"fig10", "live 3-day cyclical on Database B + Table 1 (§6.2)", func(seed uint64, _, _ int) (string, error) {
 		r, err := experiments.Figure10Table1(seed)
 		if err != nil {
 			return "", err
 		}
 		return r.Report, nil
 	}},
-	{"fig11", "recreated customer trace + Table 2 (§6.2)", func(seed uint64, _ int) (string, error) {
+	{"fig11", "recreated customer trace + Table 2 (§6.2)", func(seed uint64, _, _ int) (string, error) {
 		r, err := experiments.Figure11Table2(seed)
 		if err != nil {
 			return "", err
 		}
 		return r.Report, nil
 	}},
-	{"fig12", "tuning scatter + Pareto frontier (§6.3)", func(seed uint64, samples int) (string, error) {
+	{"fig12", "tuning scatter + Pareto frontier (§6.3)", func(seed uint64, samples, _ int) (string, error) {
 		r, err := experiments.Figure12(seed, samples)
 		if err != nil {
 			return "", err
 		}
 		return r.Report, nil
 	}},
-	{"fig13", "alpha drill-down (§6.3)", func(seed uint64, samples int) (string, error) {
+	{"fig13", "alpha drill-down (§6.3)", func(seed uint64, samples, _ int) (string, error) {
 		f12, err := experiments.Figure12(seed, samples)
 		if err != nil {
 			return "", err
@@ -95,46 +97,46 @@ var runners = []runner{
 		}
 		return r.Report, nil
 	}},
-	{"fig14", "Alibaba traces + Table 3 (§6.3)", func(seed uint64, samples int) (string, error) {
+	{"fig14", "Alibaba traces + Table 3 (§6.3)", func(seed uint64, samples, _ int) (string, error) {
 		r, err := experiments.Figure14Table3(seed, samples)
 		if err != nil {
 			return "", err
 		}
 		return r.Report, nil
 	}},
-	{"correctness", "simulator-vs-live paired t-test (§5)", func(seed uint64, _ int) (string, error) {
+	{"correctness", "simulator-vs-live paired t-test (§5)", func(seed uint64, _, _ int) (string, error) {
 		r, err := experiments.SimulatorCorrectness(seed)
 		if err != nil {
 			return "", err
 		}
 		return r.Report, nil
 	}},
-	{"table1-margins", "Table 1 metrics with ± error margins across replica runs (§6.2)", func(seed uint64, _ int) (string, error) {
-		_, report, err := experiments.ReplicatedFigure9([]uint64{seed, seed + 1, seed + 2})
+	{"table1-margins", "Table 1 metrics with ± error margins across replica runs (§6.2)", func(seed uint64, _, workers int) (string, error) {
+		_, report, err := experiments.ReplicatedFigure9([]uint64{seed, seed + 1, seed + 2}, workers)
 		return report, err
 	}},
-	{"motivation", "horizontal vs vertical scaling for single-primary DBs (§1/§3.1)", func(seed uint64, _ int) (string, error) {
+	{"motivation", "horizontal vs vertical scaling for single-primary DBs (§1/§3.1)", func(seed uint64, _, _ int) (string, error) {
 		r, err := experiments.MotivationHorizontal(seed)
 		if err != nil {
 			return "", err
 		}
 		return r.Report, nil
 	}},
-	{"ablation-inplace", "rolling-update vs in-place resize (§8 future work)", func(seed uint64, _ int) (string, error) {
+	{"ablation-inplace", "rolling-update vs in-place resize (§8 future work)", func(seed uint64, _, _ int) (string, error) {
 		r, err := experiments.AblationInPlace(seed)
 		if err != nil {
 			return "", err
 		}
 		return r.Report, nil
 	}},
-	{"ablation-horizon", "proactive scale-ahead horizon sweep (§6.2)", func(seed uint64, _ int) (string, error) {
-		r, err := experiments.AblationHorizon(seed)
+	{"ablation-horizon", "proactive scale-ahead horizon sweep (§6.2)", func(seed uint64, _, workers int) (string, error) {
+		r, err := experiments.AblationHorizon(seed, workers)
 		if err != nil {
 			return "", err
 		}
 		return r.Report, nil
 	}},
-	{"ablation-prefilter", "forecast-confidence prefilter (§4.3 future work)", func(seed uint64, _ int) (string, error) {
+	{"ablation-prefilter", "forecast-confidence prefilter (§4.3 future work)", func(seed uint64, _, _ int) (string, error) {
 		r, err := experiments.AblationPrefilter(seed)
 		if err != nil {
 			return "", err
@@ -150,6 +152,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "experiment seed")
 		out     = flag.String("out", "", "also write reports to this file")
 		list    = flag.Bool("list", false, "list experiments and exit")
+		workers = flag.Int("workers", 0, "worker goroutines for fan-out stages (default: GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -177,19 +180,36 @@ func main() {
 		w = io.MultiWriter(os.Stdout, f)
 	}
 
-	failed := 0
+	var active []runner
 	for _, r := range runners {
-		if len(selected) > 0 && !selected[r.id] {
-			continue
+		if len(selected) == 0 || selected[r.id] {
+			active = append(active, r)
 		}
+	}
+
+	// Experiments run concurrently but their reports are buffered and
+	// printed in the declaration order, so the output is byte-identical to
+	// a sequential run for every -workers value. A failing experiment is
+	// reported in place rather than aborting the batch, matching the old
+	// sequential behaviour.
+	type outcome struct {
+		text string
+		err  error
+	}
+	results, _ := parallel.Map(context.Background(), len(active), *workers, func(i int) (outcome, error) {
+		text, err := active[i].fn(*seed, *samples, *workers)
+		return outcome{text: text, err: err}, nil
+	})
+
+	failed := 0
+	for i, r := range active {
 		fmt.Fprintf(w, "================ %s — %s ================\n", r.id, r.doc)
-		text, err := r.fn(*seed, *samples)
-		if err != nil {
-			fmt.Fprintf(w, "ERROR: %v\n\n", err)
+		if results[i].err != nil {
+			fmt.Fprintf(w, "ERROR: %v\n\n", results[i].err)
 			failed++
 			continue
 		}
-		fmt.Fprintf(w, "%s\n", text)
+		fmt.Fprintf(w, "%s\n", results[i].text)
 	}
 	if failed > 0 {
 		os.Exit(1)

@@ -34,7 +34,7 @@ func TestFastRunnersProduceReports(t *testing.T) {
 		if !fast[r.id] {
 			continue
 		}
-		text, err := r.fn(1, 10)
+		text, err := r.fn(1, 10, 1)
 		if err != nil {
 			t.Errorf("%s: %v", r.id, err)
 			continue

@@ -9,6 +9,11 @@
 //	caasper-sim -workload cyclical3d -recommender caasper-proactive -season 1440
 //	caasper-sim -alibaba c_29247 -recommender vpa
 //	caasper-sim -trace usage.csv -recommender openshift -max 16
+//
+// A comma-separated -recommender list replays the trace once per policy
+// across a worker pool and prints the comparison table instead:
+//
+//	caasper-sim -workload cyclical3d -recommender caasper,vpa,autopilot -workers 4
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"time"
 
 	"caasper"
+	"caasper/internal/sim"
 )
 
 func main() {
@@ -27,7 +33,7 @@ func main() {
 		workloadName = flag.String("workload", "", "synthetic workload name (step62h, workday12h, cyclical3d, customer, ...)")
 		alibabaID    = flag.String("alibaba", "", "alibaba-style trace id (c_1, c_4043, ...)")
 		traceFile    = flag.String("trace", "", "CSV trace file (index,cpu_cores) at 1-minute resolution")
-		recName      = flag.String("recommender", "caasper", "recommender: caasper, caasper-proactive, vpa, openshift, autopilot, control")
+		recName      = flag.String("recommender", "caasper", "recommender (comma-separate several for a comparison matrix): caasper, caasper-proactive, vpa, openshift, autopilot, control")
 		initial      = flag.Int("initial", 0, "initial core allocation (default: trace peak + 1)")
 		maxCores     = flag.Int("max", 0, "SKU ladder maximum (default: trace peak * 1.5 + 2)")
 		controlAt    = flag.Int("control-cores", 0, "fixed allocation for -recommender control (default: initial)")
@@ -37,6 +43,7 @@ func main() {
 		decisionInt  = flag.Int("decision-interval", 10, "minutes between decisions")
 		resizeDelay  = flag.Int("resize-delay", 10, "minutes for a resize to take effect")
 		seed         = flag.Uint64("seed", 1, "workload seed")
+		workers      = flag.Int("workers", 0, "worker goroutines for multi-recommender runs (default: GOMAXPROCS)")
 		plot         = flag.Bool("plot", true, "print an ASCII chart of limits vs usage")
 		explain      = flag.Bool("explain", false, "print each resize's decision explanation (CaaSPER recommenders)")
 	)
@@ -60,14 +67,41 @@ func main() {
 		*controlAt = *initial
 	}
 
-	rec, err := buildRecommender(*recName, *maxCores, *controlAt, *window, *horizon, *season)
-	if err != nil {
-		fatal(err)
-	}
-
 	opts := caasper.DefaultSimOptions(*initial, *maxCores)
 	opts.DecisionEveryMinutes = *decisionInt
 	opts.ResizeDelayMinutes = *resizeDelay
+	opts.Workers = *workers
+
+	recNames := splitList(*recName)
+	if len(recNames) == 0 {
+		fatal(fmt.Errorf("no recommender given"))
+	}
+	if len(recNames) > 1 {
+		// Comparison mode: one simulation per policy, fanned out across
+		// the worker pool, reported as the standard matrix table.
+		factories := make([]sim.RecommenderFactory, 0, len(recNames))
+		for _, name := range recNames {
+			name := name
+			factories = append(factories, sim.RecommenderFactory{
+				Name: name,
+				New: func() (caasper.Recommender, error) {
+					return buildRecommender(name, *maxCores, *controlAt, *window, *horizon, *season)
+				},
+			})
+		}
+		m, err := sim.RunMatrix([]*caasper.Trace{tr}, factories, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: %s (%d minutes, peak %.2f cores)\n\n", tr.Name, tr.Len(), peak)
+		fmt.Print(m.Summary())
+		return
+	}
+
+	rec, err := buildRecommender(recNames[0], *maxCores, *controlAt, *window, *horizon, *season)
+	if err != nil {
+		fatal(err)
+	}
 
 	res, err := caasper.Simulate(tr, rec, opts)
 	if err != nil {
@@ -117,6 +151,16 @@ func loadTrace(workloadName, alibabaID, traceFile string, seed uint64) (*caasper
 	default:
 		return nil, fmt.Errorf("one of -workload, -alibaba or -trace is required (workloads: %s)", knownWorkloads())
 	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func knownWorkloads() string {

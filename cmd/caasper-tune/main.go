@@ -26,6 +26,7 @@ func main() {
 		alphaCount   = flag.Int("alphas", 8, "log-uniform alpha samples for the Eq. 6 sweep")
 		season       = flag.Int("season", 1440, "seasonal period in minutes for proactive combinations")
 		seed         = flag.Uint64("seed", 1, "search and workload seed")
+		workers      = flag.Int("workers", 0, "evaluation worker goroutines (default: GOMAXPROCS; results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -45,14 +46,16 @@ func main() {
 	}
 
 	fmt.Printf("tuning on %s: %d samples...\n", tr.Name, *samples)
-	evals, err := caasper.RandomSearch(tr, caasper.TuningOptions{
+	evals, report, err := caasper.RandomSearchReport(tr, caasper.TuningOptions{
 		Samples:       *samples,
 		Seed:          *seed,
 		SeasonMinutes: *season,
+		Workers:       *workers,
 	})
 	if err != nil {
 		fatal(err)
 	}
+	fmt.Println(report.String())
 
 	frontier := caasper.ParetoFrontier(evals)
 	fmt.Printf("\nPareto frontier (%d of %d evaluations):\n", len(frontier), len(evals))

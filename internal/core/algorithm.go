@@ -78,36 +78,88 @@ var ErrNoUsage = errors.New("core: empty usage window")
 // NaN/Inf samples (metric-gap artifacts around restarts) and negatives
 // are dropped. The input is not mutated.
 func Preprocess(usage []float64) []float64 {
-	out := make([]float64, 0, len(usage))
+	return appendPreprocessed(make([]float64, 0, len(usage)), usage)
+}
+
+// appendPreprocessed appends the Preprocess-surviving samples of usage to
+// dst and returns it.
+func appendPreprocessed(dst, usage []float64) []float64 {
 	for _, v := range usage {
 		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
 			continue
 		}
-		out = append(out, v)
+		dst = append(dst, v)
 	}
-	return out
+	return dst
+}
+
+// Scratch holds the reusable per-caller evaluation state of Decide: the
+// preprocessed-window buffer, the PvP curve storage, and a memo of the
+// most recent decision. A long-lived caller (the simulator adapters, the
+// k8s control loop) keeps one Scratch per decision stream and passes it to
+// DecideScratch, eliminating the per-decision allocations and skipping the
+// curve rebuild entirely when the decision inputs are unchanged — common
+// while usage sits flat or pinned at the cap between ticks.
+//
+// A Scratch must not be shared between goroutines. The zero value is
+// ready to use; a Scratch handed to a different Recommender resets itself,
+// so a stale memo can never cross configurations.
+type Scratch struct {
+	owner *Recommender
+	clean []float64
+	curve pvp.Curve
+
+	memoValid bool
+	memoCores int
+	memoClean []float64
+	memoDec   Decision
 }
 
 // Decide runs Algorithm 1 for the current allocation and usage window
 // (observed and/or forecast-extended; see Proactive). It returns the
-// decision or an error for unusable input.
+// decision or an error for unusable input. Loop-style callers should
+// prefer DecideScratch, which avoids the per-call allocations.
 func (r *Recommender) Decide(currentCores int, usage []float64) (Decision, error) {
+	var s Scratch
+	return r.DecideScratch(&s, currentCores, usage)
+}
+
+// DecideScratch is Decide evaluated through a caller-owned Scratch. The
+// returned decision is bit-identical to Decide's for the same inputs; only
+// the allocation behaviour differs. A nil scratch is allowed (one is
+// created per call, degrading to Decide).
+func (r *Recommender) DecideScratch(sc *Scratch, currentCores int, usage []float64) (Decision, error) {
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	if sc.owner != r {
+		*sc = Scratch{owner: r}
+	}
 	cfg := r.cfg
 	xc := stats.ClampInt(currentCores, cfg.SKUs.MinCores, cfg.SKUs.MaxCores)
 
-	// Line 2: preprocess CPU.
-	clean := Preprocess(usage)
+	// Line 2: preprocess CPU into the reusable buffer.
+	clean := appendPreprocessed(sc.clean[:0], usage)
+	sc.clean = clean
 	if len(clean) == 0 {
 		return Decision{}, ErrNoUsage
 	}
 	sort.Float64s(clean)
 
+	// Identical sorted window + allocation ⇒ identical decision: Algorithm
+	// 1 is a pure function of (window multiset, current cores, config), so
+	// the PvP curve rebuild can be skipped outright when the window stats
+	// are unchanged since the previous tick.
+	if sc.memoValid && xc == sc.memoCores && equalFloats(clean, sc.memoClean) {
+		return sc.memoDec, nil
+	}
+
 	// Line 3: build the PvP curve (the refactored SKU recommendation
-	// tool of §4.2, CPU-only).
-	curve, err := pvp.BuildCurve(clean, cfg.SKUs)
-	if err != nil {
+	// tool of §4.2, CPU-only), reusing the scratch storage.
+	if err := pvp.BuildCurveInto(&sc.curve, clean, cfg.SKUs); err != nil {
 		return Decision{}, err
 	}
+	curve := &sc.curve
 
 	// Lines 4–7: slopes, skew, current slope, scaling factor.
 	skew := curve.Skew()
@@ -221,7 +273,26 @@ func (r *Recommender) Decide(currentCores int, usage []float64) (Decision, error
 	}
 
 	d.Delta = d.TargetCores - d.CurrentCores
+
+	sc.memoClean = append(sc.memoClean[:0], clean...)
+	sc.memoCores = xc
+	sc.memoDec = d
+	sc.memoValid = true
 	return d, nil
+}
+
+// equalFloats reports element-wise equality (inputs are NaN-free: both
+// come out of the line 2 preprocessing).
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // roundSF converts the fractional Eq. 3 factor into whole cores per the

@@ -37,6 +37,11 @@ type Proactive struct {
 	// exceeds this bound, the prediction is discarded and the decision
 	// falls back to reactive. Zero disables the prefilter.
 	MaxRelativeUncertainty float64
+
+	// combined is the reusable observed+forecast window buffer. It makes
+	// a Proactive single-goroutine state: give each concurrent decision
+	// stream its own instance (they are cheap).
+	combined []float64
 }
 
 // NewProactive builds a proactive wrapper with validation.
@@ -71,10 +76,21 @@ func NewProactive(r *Recommender, f forecast.Forecaster, observedWindow, horizon
 //
 // The returned bool reports whether the forecast contributed.
 func (p *Proactive) Decide(currentCores int, history []float64) (Decision, bool, error) {
+	return p.DecideScratch(nil, currentCores, history)
+}
+
+// DecideScratch is Decide evaluated through a caller-owned Scratch (see
+// Recommender.DecideScratch): the combined observed+forecast window and
+// every downstream evaluation buffer are reused across calls. A nil
+// scratch allocates fresh state per call.
+func (p *Proactive) DecideScratch(s *Scratch, currentCores int, history []float64) (Decision, bool, error) {
+	if s == nil {
+		s = &Scratch{}
+	}
 	observed := tail(history, p.ObservedWindow)
 
 	if p.Forecaster == nil || p.Horizon == 0 || len(history) < p.MinHistory {
-		d, err := p.Reactive.Decide(currentCores, observed)
+		d, err := p.Reactive.DecideScratch(s, currentCores, observed)
 		return d, false, err
 	}
 
@@ -87,7 +103,7 @@ func (p *Proactive) Decide(currentCores int, history []float64) (Decision, bool,
 			if forecast.RelativeUncertainty(point, lo, hi) > p.MaxRelativeUncertainty {
 				// The prefilter of §4.3: a too-uncertain prediction is
 				// worse than none — stay reactive this tick.
-				d, rerr := p.Reactive.Decide(currentCores, observed)
+				d, rerr := p.Reactive.DecideScratch(s, currentCores, observed)
 				return d, false, rerr
 			}
 			predicted = point
@@ -96,14 +112,14 @@ func (p *Proactive) Decide(currentCores int, history []float64) (Decision, bool,
 		predicted, err = p.Forecaster.Forecast(history, p.Horizon)
 	}
 	if err != nil {
-		d, rerr := p.Reactive.Decide(currentCores, observed)
+		d, rerr := p.Reactive.DecideScratch(s, currentCores, observed)
 		return d, false, rerr
 	}
 
-	combined := make([]float64, 0, len(observed)+len(predicted))
-	combined = append(combined, observed...)
+	combined := append(p.combined[:0], observed...)
 	combined = append(combined, predicted...)
-	d, err := p.Reactive.Decide(currentCores, combined)
+	p.combined = combined
+	d, err := p.Reactive.DecideScratch(s, currentCores, combined)
 	if err != nil {
 		return d, false, err
 	}

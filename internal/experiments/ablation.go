@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"caasper/internal/core"
 	"caasper/internal/dbsim"
 	"caasper/internal/forecast"
+	"caasper/internal/parallel"
 	"caasper/internal/recommend"
 	"caasper/internal/sim"
 	"caasper/internal/workload"
@@ -87,17 +89,19 @@ type AblationHorizonResult struct {
 }
 
 // AblationHorizon evaluates horizons 0 (pure reactive), 15, 60 and 120
-// minutes on the cyclical trace.
-func AblationHorizon(seed uint64) (*AblationHorizonResult, error) {
+// minutes on the cyclical trace. The four horizon runs are independent
+// simulations, so they fan out across workers goroutines (below 1:
+// runtime.GOMAXPROCS(0)); rows are written by horizon index, keeping the
+// table order and values identical for every worker count.
+func AblationHorizon(seed uint64, workers int) (*AblationHorizonResult, error) {
 	tr := workload.Cyclical3Day(seed)
 	opts := sim.DefaultOptions(14, 14)
 	opts.ResizeDelayMinutes = 4
 	const season = 24 * 60
 
-	res := &AblationHorizonResult{}
-	tb := NewTable("Ablation — proactive scale-ahead horizon on the cyclical workload",
-		"horizon (min)", "sum slack K", "sum insufficient C", "scalings N")
-	for _, horizon := range []int{0, 15, 60, 120} {
+	horizons := []int{0, 15, 60, 120}
+	rows, err := parallel.Map(context.Background(), len(horizons), workers, func(i int) (AblationHorizonRow, error) {
+		horizon := horizons[i]
 		var rec recommend.Recommender
 		var err error
 		if horizon == 0 {
@@ -107,19 +111,28 @@ func AblationHorizon(seed uint64) (*AblationHorizonResult, error) {
 				&forecast.SeasonalNaive{Season: season}, 40, horizon, season)
 		}
 		if err != nil {
-			return nil, err
+			return AblationHorizonRow{}, err
 		}
 		r, err := sim.Run(tr, rec, opts)
 		if err != nil {
-			return nil, err
+			return AblationHorizonRow{}, err
 		}
-		res.Rows = append(res.Rows, AblationHorizonRow{
+		return AblationHorizonRow{
 			HorizonMinutes:  horizon,
 			SumSlack:        r.SumSlack,
 			SumInsufficient: r.SumInsufficient,
 			NumScalings:     r.NumScalings,
-		})
-		tb.AddRow(horizon, r.SumSlack, r.SumInsufficient, r.NumScalings)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &AblationHorizonResult{Rows: rows}
+	tb := NewTable("Ablation — proactive scale-ahead horizon on the cyclical workload",
+		"horizon (min)", "sum slack K", "sum insufficient C", "scalings N")
+	for _, row := range rows {
+		tb.AddRow(row.HorizonMinutes, row.SumSlack, row.SumInsufficient, row.NumScalings)
 	}
 	var b strings.Builder
 	b.WriteString(tb.String())

@@ -40,7 +40,7 @@ func TestAblationHorizonShapes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("horizon sweep")
 	}
-	res, err := AblationHorizon(1)
+	res, err := AblationHorizon(1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 
+	"caasper/internal/parallel"
 	"caasper/internal/stats"
 )
 
@@ -35,18 +37,37 @@ func (m ReplicatedMetric) String() string {
 }
 
 // Replicate runs fn once per seed and aggregates the returned metrics by
-// name. Every run must return the same metric set; mismatches error.
+// name. Every run must return the same metric set; mismatches error. It
+// fans the seeds out across runtime.GOMAXPROCS(0) workers; use
+// ReplicateWorkers to bound the pool explicitly.
 func Replicate(seeds []uint64, fn func(seed uint64) ([]MetricSample, error)) ([]ReplicatedMetric, error) {
+	return ReplicateWorkers(seeds, 0, fn)
+}
+
+// ReplicateWorkers is Replicate with an explicit worker count (values
+// below 1 select runtime.GOMAXPROCS(0)). fn must be safe for concurrent
+// calls — every experiment here derives all state from its seed. Replica
+// results are written by seed index and aggregated sequentially in seed
+// order afterwards, so the output (including metric ordering and the
+// floating-point mean/stddev accumulation order) is identical for every
+// worker count; on failure the error of the earliest seed wins.
+func ReplicateWorkers(seeds []uint64, workers int, fn func(seed uint64) ([]MetricSample, error)) ([]ReplicatedMetric, error) {
 	if len(seeds) == 0 {
 		return nil, errors.New("experiments: no seeds")
 	}
+	runs, err := parallel.Map(context.Background(), len(seeds), workers, func(i int) ([]MetricSample, error) {
+		samples, err := fn(seeds[i])
+		if err != nil {
+			return nil, fmt.Errorf("experiments: seed %d: %w", seeds[i], err)
+		}
+		return samples, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	values := map[string][]float64{}
 	var order []string
-	for _, seed := range seeds {
-		samples, err := fn(seed)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: seed %d: %w", seed, err)
-		}
+	for _, samples := range runs {
 		for _, s := range samples {
 			if _, ok := values[s.Name]; !ok {
 				order = append(order, s.Name)
@@ -72,9 +93,10 @@ func Replicate(seeds []uint64, fn func(seed uint64) ([]MetricSample, error)) ([]
 
 // ReplicatedFigure9 runs the Figure 9 / Table 1 live experiment across
 // the given seeds and reports each headline metric with its ± margin —
-// the paper's presentation format for that table.
-func ReplicatedFigure9(seeds []uint64) ([]ReplicatedMetric, string, error) {
-	metrics, err := Replicate(seeds, func(seed uint64) ([]MetricSample, error) {
+// the paper's presentation format for that table. Replicas run across
+// workers goroutines (below 1: runtime.GOMAXPROCS(0)).
+func ReplicatedFigure9(seeds []uint64, workers int) ([]ReplicatedMetric, string, error) {
+	metrics, err := ReplicateWorkers(seeds, workers, func(seed uint64) ([]MetricSample, error) {
 		r, err := Figure9Table1(seed)
 		if err != nil {
 			return nil, err

@@ -58,7 +58,7 @@ func TestReplicatedFigure9Margins(t *testing.T) {
 	if testing.Short() {
 		t.Skip("replicated live-loop experiment")
 	}
-	metrics, report, err := ReplicatedFigure9([]uint64{1, 2, 3})
+	metrics, report, err := ReplicatedFigure9([]uint64{1, 2, 3}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

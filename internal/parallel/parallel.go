@@ -1,0 +1,146 @@
+// Package parallel is the deterministic fan-out engine behind the
+// evaluation stack: the §5 random parameter search, the trace×recommender
+// simulation matrix and the experiment replication suites all distribute
+// independent tasks across a bounded worker pool through it.
+//
+// Determinism contract: callers enumerate their tasks up front (consuming
+// any shared RNG stream *sequentially*), workers write results into
+// index-addressed slots, and error selection is by lowest task index — so
+// the observable outcome of a run is identical for every worker count,
+// including 1. The engine never reorders, samples or drops work.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Workers normalises a requested worker count: values below 1 become
+// runtime.GOMAXPROCS(0) (use every core the runtime may schedule on), and
+// the result never exceeds the task count n.
+func Workers(requested, n int) int {
+	w := requested
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEach invokes fn(i) for every i in [0, n) across a bounded pool of
+// workers goroutines (workers < 1 selects runtime.GOMAXPROCS(0)). fn must
+// be safe for concurrent invocation and should write its result into an
+// index-addressed slot of a caller-owned slice.
+//
+// Error handling is deterministic: every task runs regardless of other
+// tasks' failures (results stay complete and worker-count-independent),
+// and if any tasks fail the error from the lowest index is returned.
+// A nil ctx is allowed; a cancelled ctx stops workers from *starting*
+// further tasks and its error is returned unless a task error (which has
+// a definite index) occurred first.
+func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers, n)
+
+	if workers == 1 {
+		// Sequential fast path: same contract, no goroutines. Tasks after
+		// a failure still run so the result set matches parallel runs.
+		var firstErr error
+		for i := 0; i < n; i++ {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					break
+				}
+			}
+			if err := fn(i); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+
+	var (
+		mu      sync.Mutex
+		next    int // next task index to hand out
+		errIdx  = -1
+		taskErr error
+		ctxErr  error
+		wg      sync.WaitGroup
+	)
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= n {
+			return 0, false
+		}
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				if ctxErr == nil {
+					ctxErr = err
+				}
+				return 0, false
+			}
+		}
+		i := next
+		next++
+		return i, true
+	}
+	record := func(i int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if errIdx == -1 || i < errIdx {
+			errIdx, taskErr = i, err
+		}
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				if err := fn(i); err != nil {
+					record(i, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if taskErr != nil {
+		return taskErr
+	}
+	return ctxErr
+}
+
+// Map runs fn(i) for every i in [0, n) across the pool and returns the
+// results as an index-addressed slice: out[i] is fn(i)'s value regardless
+// of scheduling. On error the slice is still returned (slots whose tasks
+// failed hold fn's returned value for that index); the error reported is
+// the one from the lowest failing index.
+func Map[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	err := ForEach(ctx, n, workers, func(i int) error {
+		v, err := fn(i)
+		out[i] = v
+		return err
+	})
+	return out, err
+}

@@ -1,0 +1,164 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersNormalisation(t *testing.T) {
+	if got := Workers(0, 100); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0, 100) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3, 100); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3, 100) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(8, 3); got != 3 {
+		t.Errorf("Workers(8, 3) = %d, want 3 (clamped to task count)", got)
+	}
+	if got := Workers(5, 0); got != 1 {
+		t.Errorf("Workers(5, 0) = %d, want 1", got)
+	}
+}
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 9} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 100
+			counts := make([]int64, n)
+			err := ForEach(context.Background(), n, workers, func(i int) error {
+				atomic.AddInt64(&counts[i], 1)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("index %d ran %d times", i, c)
+				}
+			}
+		})
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	called := false
+	if err := ForEach(context.Background(), 0, 4, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(context.Background(), -5, 4, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("fn called for empty task set")
+	}
+}
+
+func TestForEachNilContext(t *testing.T) {
+	var ran int64
+	if err := ForEach(nil, 10, 4, func(int) error { atomic.AddInt64(&ran, 1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 10 {
+		t.Errorf("ran %d of 10 tasks with nil ctx", ran)
+	}
+}
+
+// The error from the lowest failing index wins, for every worker count,
+// and every task still runs (complete, worker-count-independent results).
+func TestForEachLowestIndexErrorWins(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 50
+			var ran int64
+			err := ForEach(context.Background(), n, workers, func(i int) error {
+				atomic.AddInt64(&ran, 1)
+				if i == 7 || i == 31 {
+					return fmt.Errorf("task %d failed", i)
+				}
+				return nil
+			})
+			if err == nil || err.Error() != "task 7 failed" {
+				t.Errorf("err = %v, want task 7's error", err)
+			}
+			if ran != n {
+				t.Errorf("ran %d of %d tasks after failure", ran, n)
+			}
+		})
+	}
+}
+
+func TestForEachContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int64
+	err := ForEach(ctx, 1000, 4, func(i int) error {
+		if atomic.AddInt64(&ran, 1) == 5 {
+			cancel()
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if got := atomic.LoadInt64(&ran); got >= 1000 {
+		t.Errorf("cancellation did not stop task issuance (ran %d)", got)
+	}
+}
+
+func TestMapIndexAddressedResults(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 64
+			out, err := Map(context.Background(), n, workers, func(i int) (int, error) {
+				return i * i, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out) != n {
+				t.Fatalf("len(out) = %d, want %d", len(out), n)
+			}
+			for i, v := range out {
+				if v != i*i {
+					t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+				}
+			}
+		})
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(context.Background(), 0, 4, func(i int) (string, error) { return "x", nil })
+	if err != nil || out != nil {
+		t.Errorf("Map(0 tasks) = (%v, %v), want (nil, nil)", out, err)
+	}
+}
+
+// Identical outputs regardless of worker count — the engine's core
+// guarantee, checked over a non-trivial reduction.
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) []int {
+		out, err := Map(context.Background(), 200, workers, func(i int) (int, error) {
+			return (i*2654435761 + 12345) % 997, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+		got := run(workers)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d diverges at index %d: %d vs %d", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}

@@ -66,6 +66,11 @@ type Point struct {
 type Curve struct {
 	Points []Point
 	Range  SKURange
+	// slopes caches the scaled forward differences, computed once at
+	// build time. Decide evaluates the slope three ways per decision
+	// (SlopeAt, Skew, FlatTailAt); recomputing the full vector each time
+	// was the dominant per-decision cost.
+	slopes []float64
 }
 
 // SlopeScale converts raw per-core probability differences into the slope
@@ -87,18 +92,34 @@ const SlopeScale = 10.0
 // This is exactly why the paper's Figure 5a trace (capped at 8 cores)
 // produces a steep slope at the 8-core SKU.
 func BuildCurve(usage []float64, r SKURange) (*Curve, error) {
-	if err := r.Validate(); err != nil {
+	c := &Curve{}
+	if err := BuildCurveInto(c, usage, r); err != nil {
 		return nil, err
 	}
+	return c, nil
+}
+
+// BuildCurveInto rebuilds c for a new usage window, reusing the point and
+// slope storage left over from earlier builds — the per-decision
+// allocation cut exploited by the simulator's hot loop, where one curve is
+// rebuilt per decision tick over thousands of ticks. The resulting curve
+// is indistinguishable from a fresh BuildCurve result.
+func BuildCurveInto(c *Curve, usage []float64, r SKURange) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
 	if len(usage) == 0 {
-		return nil, errors.New("pvp: empty usage window")
+		return errors.New("pvp: empty usage window")
 	}
 	const eps = 0.02 // 2% of capacity: "at the cap" counts as throttled
 	price := r.PricePerCore
 	if price <= 0 {
 		price = 1
 	}
-	points := make([]Point, 0, r.Count())
+	points := c.Points[:0]
+	if cap(points) < r.Count() {
+		points = make([]Point, 0, r.Count())
+	}
 	for cores := r.MinCores; cores <= r.MaxCores; cores++ {
 		cap := float64(cores)
 		var exceed int
@@ -114,7 +135,26 @@ func BuildCurve(usage []float64, r SKURange) (*Curve, error) {
 			MonthlyPrice: float64(cores) * price,
 		})
 	}
-	return &Curve{Points: points, Range: r}, nil
+	c.Points = points
+	c.Range = r
+	c.slopes = appendSlopes(c.slopes[:0], points)
+	return nil
+}
+
+// appendSlopes appends the scaled forward differences of the points'
+// performance values to dst and returns it (nil when fewer than 2 points,
+// matching stats.Slopes).
+func appendSlopes(dst []float64, points []Point) []float64 {
+	if len(points) < 2 {
+		return nil
+	}
+	if cap(dst) < len(points)-1 {
+		dst = make([]float64, 0, len(points)-1)
+	}
+	for i := 0; i+1 < len(points); i++ {
+		dst = append(dst, (points[i+1].Performance-points[i].Performance)*SlopeScale)
+	}
+	return dst
 }
 
 // Performance returns 1 − P(throttling) at the given core count, clamping
@@ -127,16 +167,15 @@ func (c *Curve) Performance(cores int) float64 {
 // Slopes returns the scaled forward differences of the curve: out[i] is
 // the slope between SKU i and SKU i+1 (length Count-1). All slopes are
 // non-negative because performance is monotone non-decreasing in cores.
+// Curves built by BuildCurve return their cached slope vector — treat the
+// result as read-only.
 func (c *Curve) Slopes() []float64 {
-	perf := make([]float64, len(c.Points))
-	for i, p := range c.Points {
-		perf[i] = p.Performance
+	if c.slopes != nil || len(c.Points) < 2 {
+		return c.slopes
 	}
-	raw := stats.Slopes(perf)
-	for i := range raw {
-		raw[i] *= SlopeScale
-	}
-	return raw
+	// Hand-assembled curve (no build-time cache): compute fresh without
+	// mutating c, so concurrent readers stay race-free.
+	return appendSlopes(nil, c.Points)
 }
 
 // SlopeAt returns the slope at the given core count: the scaled increase

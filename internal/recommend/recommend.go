@@ -54,6 +54,9 @@ type CaaSPERReactive struct {
 	window int
 	// history holds all observed samples; Recommend evaluates the tail.
 	history []float64
+	// scratch reuses the Algorithm 1 evaluation buffers across decision
+	// ticks (an adapter is single-stream state already).
+	scratch core.Scratch
 	// LastDecision exposes the most recent full decision (explanation,
 	// slope, branch) for interpretability surfaces.
 	LastDecision core.Decision
@@ -86,7 +89,7 @@ func (c *CaaSPERReactive) Recommend(currentCores int) int {
 	if len(w) > c.window {
 		w = w[len(w)-c.window:]
 	}
-	d, err := c.algo.Decide(currentCores, w)
+	d, err := c.algo.DecideScratch(&c.scratch, currentCores, w)
 	if err != nil {
 		return currentCores // no usable signal: hold
 	}
@@ -97,6 +100,7 @@ func (c *CaaSPERReactive) Recommend(currentCores int) int {
 // Reset implements Recommender.
 func (c *CaaSPERReactive) Reset() {
 	c.history = c.history[:0]
+	c.scratch = core.Scratch{}
 	c.LastDecision = core.Decision{}
 }
 
@@ -109,6 +113,8 @@ func (c *CaaSPERReactive) Explain() string { return c.LastDecision.Explanation }
 type CaaSPERProactive struct {
 	pro     *core.Proactive
 	history []float64
+	// scratch reuses the Algorithm 1 evaluation buffers across ticks.
+	scratch core.Scratch
 	// LastUsedForecast reports whether the most recent decision
 	// incorporated the forecast (false during the warm-up period).
 	LastUsedForecast bool
@@ -141,7 +147,7 @@ func (c *CaaSPERProactive) Observe(_ int, usageCores float64) {
 
 // Recommend implements Recommender.
 func (c *CaaSPERProactive) Recommend(currentCores int) int {
-	d, used, err := c.pro.Decide(currentCores, c.history)
+	d, used, err := c.pro.DecideScratch(&c.scratch, currentCores, c.history)
 	if err != nil {
 		return currentCores
 	}
@@ -153,6 +159,7 @@ func (c *CaaSPERProactive) Recommend(currentCores int) int {
 // Reset implements Recommender.
 func (c *CaaSPERProactive) Reset() {
 	c.history = c.history[:0]
+	c.scratch = core.Scratch{}
 	c.LastUsedForecast = false
 	c.LastDecision = core.Decision{}
 }

@@ -1,17 +1,23 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 
+	"caasper/internal/parallel"
 	"caasper/internal/recommend"
 	"caasper/internal/trace"
 )
 
 // RecommenderFactory builds a fresh recommender per run. Matrix runs need
 // factories rather than instances because recommenders are stateful and a
-// single instance must not leak history across cells.
+// single instance must not leak history across cells. New must be safe to
+// call from concurrent goroutines (RunMatrix evaluates cells across a
+// worker pool): construct everything inside the closure instead of
+// capturing shared mutable state.
 type RecommenderFactory struct {
 	// Name labels the column in reports.
 	Name string
@@ -32,12 +38,27 @@ type MatrixCell struct {
 // identical simulator settings.
 type Matrix struct {
 	Cells []MatrixCell
+
+	// Cell-lookup index, built lazily on first use and rebuilt when the
+	// Cells slice has visibly changed length (callers may append).
+	mu       sync.Mutex
+	index    map[cellKey]int
+	indexLen int
 }
 
-// RunMatrix simulates every trace × factory combination. opts applies to
-// every cell except InitialCores/MaxCores, which are derived per trace
-// when opts.MaxCores is zero (traces of very different magnitudes need
-// different ladders).
+type cellKey struct{ traceName, recName string }
+
+// RunMatrix simulates every trace × factory combination across a bounded
+// worker pool (opts.Workers; below 1 selects runtime.GOMAXPROCS(0)). opts
+// applies to every cell except InitialCores/MaxCores, which are derived
+// per trace when opts.MaxCores is zero (traces of very different
+// magnitudes need different ladders).
+//
+// Each cell is an independent task writing its result into an
+// index-addressed slot, so Cells keeps the historical ordering — traces in
+// input order, factories in input order within each trace — and the whole
+// matrix is deterministic for every worker count. On failure the error
+// reported is the one from the earliest cell in that ordering.
 func RunMatrix(traces []*trace.Trace, factories []RecommenderFactory, opts Options) (*Matrix, error) {
 	if len(traces) == 0 {
 		return nil, errors.New("sim: no traces")
@@ -45,16 +66,13 @@ func RunMatrix(traces []*trace.Trace, factories []RecommenderFactory, opts Optio
 	if len(factories) == 0 {
 		return nil, errors.New("sim: no recommender factories")
 	}
-	m := &Matrix{}
-	for _, tr := range traces {
+	// Derive per-trace options sequentially (a cheap peak scan) so the
+	// worker tasks are pure cell evaluations.
+	perTrace := make([]Options, len(traces))
+	for i, tr := range traces {
 		cellOpts := opts
 		if cellOpts.MaxCores == 0 {
-			peak := 0.0
-			for _, v := range tr.Values {
-				if v > peak {
-					peak = v
-				}
-			}
+			peak := tr.Peak()
 			cellOpts.MaxCores = int(peak*1.5) + 2
 			cellOpts.InitialCores = int(peak) + 1
 			if cellOpts.MinCores == 0 {
@@ -64,33 +82,55 @@ func RunMatrix(traces []*trace.Trace, factories []RecommenderFactory, opts Optio
 				cellOpts.InitialCores = cellOpts.MaxCores
 			}
 		}
-		for _, f := range factories {
-			rec, err := f.New()
-			if err != nil {
-				return nil, fmt.Errorf("sim: building %s: %w", f.Name, err)
-			}
-			res, err := Run(tr, rec, cellOpts)
-			if err != nil {
-				return nil, fmt.Errorf("sim: %s on %s: %w", f.Name, tr.Name, err)
-			}
-			m.Cells = append(m.Cells, MatrixCell{
-				TraceName:       tr.Name,
-				RecommenderName: f.Name,
-				Result:          res,
-			})
+		perTrace[i] = cellOpts
+	}
+
+	m := &Matrix{Cells: make([]MatrixCell, len(traces)*len(factories))}
+	err := parallel.ForEach(context.Background(), len(m.Cells), opts.Workers, func(idx int) error {
+		ti, fi := idx/len(factories), idx%len(factories)
+		tr, f := traces[ti], factories[fi]
+		rec, err := f.New()
+		if err != nil {
+			return fmt.Errorf("sim: building %s: %w", f.Name, err)
 		}
+		res, err := Run(tr, rec, perTrace[ti])
+		if err != nil {
+			return fmt.Errorf("sim: %s on %s: %w", f.Name, tr.Name, err)
+		}
+		m.Cells[idx] = MatrixCell{
+			TraceName:       tr.Name,
+			RecommenderName: f.Name,
+			Result:          res,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return m, nil
 }
 
-// Cell returns the result for a (trace, recommender) pair, or nil.
+// Cell returns the result for a (trace, recommender) pair, or nil. The
+// first lookup builds a map index over Cells (rebuilt if Cells grows), so
+// repeated lookups over large matrices are O(1) instead of a linear scan.
 func (m *Matrix) Cell(traceName, recName string) *Result {
-	for _, c := range m.Cells {
-		if c.TraceName == traceName && c.RecommenderName == recName {
-			return c.Result
+	m.mu.Lock()
+	if m.index == nil || m.indexLen != len(m.Cells) {
+		m.index = make(map[cellKey]int, len(m.Cells))
+		for i, c := range m.Cells {
+			k := cellKey{c.TraceName, c.RecommenderName}
+			if _, dup := m.index[k]; !dup { // first match wins, like the scan did
+				m.index[k] = i
+			}
 		}
+		m.indexLen = len(m.Cells)
 	}
-	return nil
+	i, ok := m.index[cellKey{traceName, recName}]
+	m.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return m.Cells[i].Result
 }
 
 // Summary renders a compact comparison table: one row per cell with the

@@ -46,6 +46,11 @@ type Options struct {
 	// WarmupMinutes delays the first decision, letting window-based
 	// recommenders accumulate signal. Defaults to DecisionEveryMinutes.
 	WarmupMinutes int
+	// Workers bounds the fan-out of multi-run drivers (RunMatrix and the
+	// CLIs); values below 1 select runtime.GOMAXPROCS(0). A single Run is
+	// always one sequential replay — the parallelism is across runs, so
+	// results stay deterministic for every worker count.
+	Workers int
 }
 
 // DefaultOptions returns the configuration used across the experiments:
@@ -202,23 +207,31 @@ func Run(tr *trace.Trace, rec recommend.Recommender, opts Options) (*Result, err
 	}
 
 	n := tr.Len()
+	// Decision ticks are spaced DecisionEveryMinutes apart, so the
+	// decision series can be sized exactly once instead of growing by
+	// repeated append in the minute loop.
+	ticks := n/opts.DecisionEveryMinutes + 1
 	res := &Result{
-		TraceName:   tr.Name,
-		Recommender: rec.Name(),
-		Minutes:     n,
-		Limits:      make([]float64, n),
-		Usage:       make([]float64, n),
-		Demand:      make([]float64, n),
+		TraceName:      tr.Name,
+		Recommender:    rec.Name(),
+		Minutes:        n,
+		Limits:         make([]float64, n),
+		Usage:          make([]float64, n),
+		Demand:         make([]float64, n),
+		DecisionSeries: make([]float64, 0, ticks),
+		Decisions:      make([]DecisionRecord, 0, ticks),
 	}
 
 	limit := stats.ClampInt(opts.InitialCores, opts.MinCores, opts.MaxCores)
 	pendingTarget := -1
 	pendingAt := -1
 
-	// Defensive copy + sanitisation: real metric pipelines emit NaN/Inf
-	// gaps around restarts; the accounting below must never propagate
-	// them into K/C or the billing meter.
-	demandSeries := append([]float64(nil), tr.Values...)
+	// Defensive copy + sanitisation, written straight into the result's
+	// demand series (it is rewritten sample-for-sample below anyway):
+	// real metric pipelines emit NaN/Inf gaps around restarts; the
+	// accounting must never propagate them into K/C or the billing meter.
+	demandSeries := res.Demand
+	copy(demandSeries, tr.Values)
 	for i, v := range demandSeries {
 		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
 			demandSeries[i] = 0
@@ -248,11 +261,10 @@ func Run(tr *trace.Trace, rec recommend.Recommender, opts Options) (*Result, err
 			enact(t)
 		}
 
-		demand := demandSeries[t]
+		demand := demandSeries[t] // == res.Demand[t], sanitised above
 		capf := float64(limit)
 		usage := math.Min(demand, capf)
 
-		res.Demand[t] = demand
 		res.Usage[t] = usage
 		res.Limits[t] = capf
 		res.SumSlack += capf - usage

@@ -81,6 +81,20 @@ func (t *Trace) Window(from, to int) []float64 {
 	return t.Values[from:to]
 }
 
+// Peak returns the largest sample value (0 for an empty trace). It is the
+// shared peak scan behind every "size the SKU ladder from the trace"
+// derivation: NaN samples are skipped so an unsanitised trace cannot
+// poison a ladder bound.
+func (t *Trace) Peak() float64 {
+	peak := 0.0
+	for _, v := range t.Values {
+		if v > peak {
+			peak = v
+		}
+	}
+	return peak
+}
+
 // Scale multiplies every sample by f in place and returns the trace.
 // The paper scales millicore traces into full-core ranges this way (§6.3).
 func (t *Trace) Scale(f float64) *Trace {

@@ -273,3 +273,23 @@ func TestStringContainsName(t *testing.T) {
 		t.Errorf("String = %q", s)
 	}
 }
+
+func TestPeak(t *testing.T) {
+	if p := minuteTrace(1, 7.5, 3).Peak(); p != 7.5 {
+		t.Errorf("Peak = %v, want 7.5", p)
+	}
+	empty := New("empty", time.Minute, nil)
+	if p := empty.Peak(); p != 0 {
+		t.Errorf("Peak of empty trace = %v, want 0", p)
+	}
+	// NaN samples must not poison the scan; all-negative traces peak at 0
+	// (a ladder bound can never be negative).
+	weird := New("weird", time.Minute, []float64{math.NaN(), -4, 2.25, math.NaN()})
+	if p := weird.Peak(); p != 2.25 {
+		t.Errorf("Peak with NaN = %v, want 2.25", p)
+	}
+	neg := New("neg", time.Minute, []float64{-3, -1})
+	if p := neg.Peak(); p != 0 {
+		t.Errorf("Peak of negative trace = %v, want 0", p)
+	}
+}

@@ -1,0 +1,107 @@
+package tuning
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// The tentpole guarantee of the parallel evaluation engine: the search is
+// bit-identical for every worker count, because combinations are sampled
+// sequentially from the single RNG stream before evaluation starts and
+// every evaluation lands in an index-addressed slot.
+func TestRandomSearchDeterministicAcrossWorkerCounts(t *testing.T) {
+	tr := shortCyclicalTrace()
+	run := func(workers int) ([]Evaluation, SearchReport) {
+		t.Helper()
+		evals, report, err := RandomSearchReport(tr, SearchOptions{
+			Samples:       24,
+			Seed:          11,
+			SeasonMinutes: 6 * 60,
+			Workers:       workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return evals, report
+	}
+
+	want, wantReport := run(1)
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+		got, gotReport := run(workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: evaluations differ from sequential run", workers)
+		}
+		if gotReport != wantReport {
+			t.Errorf("workers=%d: report = %+v, want %+v", workers, gotReport, wantReport)
+		}
+	}
+}
+
+func TestRandomSearchReportAccounting(t *testing.T) {
+	tr := shortCyclicalTrace()
+	evals, report, err := RandomSearchReport(tr, SearchOptions{
+		Samples:       16,
+		Seed:          5,
+		SeasonMinutes: 6 * 60,
+		Workers:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Sampled != 16 {
+		t.Errorf("Sampled = %d, want 16", report.Sampled)
+	}
+	if report.Evaluated+report.Skipped != report.Sampled {
+		t.Errorf("Evaluated %d + Skipped %d != Sampled %d",
+			report.Evaluated, report.Skipped, report.Sampled)
+	}
+	if report.Evaluated != len(evals) {
+		t.Errorf("Evaluated = %d, but %d evaluations returned", report.Evaluated, len(evals))
+	}
+	if report.Skipped == 0 && report.FirstSkip != "" {
+		t.Errorf("FirstSkip = %q with no skips", report.FirstSkip)
+	}
+}
+
+// A mis-bounded space used to thin the sample silently; now every skip is
+// counted and an all-skip search fails loudly with the first reason.
+func TestRandomSearchAllInvalidCombinationsError(t *testing.T) {
+	tr := shortCyclicalTrace()
+	space := DefaultSearchSpace()
+	space.MinCores = [2]int{999, 999} // far above any derivable ladder
+	_, report, err := RandomSearchReport(tr, SearchOptions{
+		Samples: 8,
+		Seed:    3,
+		Space:   &space,
+	})
+	if err == nil {
+		t.Fatal("all-invalid search should error")
+	}
+	if report.Skipped != 8 || report.Evaluated != 0 {
+		t.Errorf("report = %+v, want 8 skipped / 0 evaluated", report)
+	}
+	if report.FirstSkip == "" {
+		t.Error("FirstSkip should describe the rejected combination")
+	}
+}
+
+func BenchmarkRandomSearchParallel(b *testing.B) {
+	tr := shortCyclicalTrace()
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := RandomSearch(tr, SearchOptions{
+					Samples:       16,
+					Seed:          3,
+					SeasonMinutes: 6 * 60,
+					Workers:       workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

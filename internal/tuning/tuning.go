@@ -8,12 +8,14 @@
 package tuning
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
 	"caasper/internal/core"
 	"caasper/internal/forecast"
+	"caasper/internal/parallel"
 	"caasper/internal/pvp"
 	"caasper/internal/recommend"
 	"caasper/internal/sim"
@@ -161,16 +163,62 @@ type SearchOptions struct {
 	// SeasonMinutes is the seasonal-naive period for proactive
 	// combinations (1440 for daily workloads).
 	SeasonMinutes int
+	// Workers bounds the evaluation fan-out; values below 1 select
+	// runtime.GOMAXPROCS(0). The result is identical for every worker
+	// count: combinations are sampled sequentially from the single RNG
+	// stream before any evaluation starts, and evaluations land in
+	// index-addressed slots.
+	Workers int
+}
+
+// SearchReport summarises a RandomSearch run: how many combinations were
+// drawn, how many evaluated cleanly, and how many were skipped as invalid.
+// A large Skipped count means the SearchSpace is mis-bounded (its edges
+// produce configurations Config.Validate rejects) and the effective sample
+// is silently thinner than requested — exactly the failure mode this
+// report exists to surface.
+type SearchReport struct {
+	// Sampled is the number of combinations drawn (== SearchOptions.Samples).
+	Sampled int
+	// Evaluated is the number of combinations simulated successfully.
+	Evaluated int
+	// Skipped is Sampled − Evaluated.
+	Skipped int
+	// FirstSkip describes the first skipped combination (by sampling
+	// order) — "" when nothing was skipped.
+	FirstSkip string
+}
+
+// String renders the report compactly.
+func (r SearchReport) String() string {
+	if r.Skipped == 0 {
+		return fmt.Sprintf("SearchReport{%d/%d evaluated}", r.Evaluated, r.Sampled)
+	}
+	return fmt.Sprintf("SearchReport{%d/%d evaluated, %d skipped; first skip: %s}",
+		r.Evaluated, r.Sampled, r.Skipped, r.FirstSkip)
 }
 
 // RandomSearch evaluates Samples random combinations on the trace. The
-// returned slice preserves sampling order (deterministic per seed).
+// returned slice preserves sampling order (deterministic per seed and
+// worker count). Invalid combinations at the space edges are skipped; use
+// RandomSearchReport to see how many.
 func RandomSearch(tr *trace.Trace, opts SearchOptions) ([]Evaluation, error) {
+	evals, _, err := RandomSearchReport(tr, opts)
+	return evals, err
+}
+
+// RandomSearchReport is RandomSearch plus the skip accounting. The
+// evaluations are computed across a bounded worker pool (opts.Workers):
+// every combination is pre-sampled sequentially from the seeded RNG — so
+// the sampled set is bit-identical to the historical sequential
+// implementation — and evaluated into its own result slot.
+func RandomSearchReport(tr *trace.Trace, opts SearchOptions) ([]Evaluation, SearchReport, error) {
+	var report SearchReport
 	if tr == nil || tr.Len() == 0 {
-		return nil, errors.New("tuning: empty trace")
+		return nil, report, errors.New("tuning: empty trace")
 	}
 	if opts.Samples < 1 {
-		return nil, errors.New("tuning: Samples must be ≥ 1")
+		return nil, report, errors.New("tuning: Samples must be ≥ 1")
 	}
 	space := DefaultSearchSpace()
 	if opts.Space != nil {
@@ -186,22 +234,46 @@ func RandomSearch(tr *trace.Trace, opts SearchOptions) ([]Evaluation, error) {
 		season = 1440
 	}
 
+	// Phase 1 — sequential sampling: the single RNG stream is consumed in
+	// sampling order only, keeping the drawn set independent of the
+	// evaluation schedule.
 	rng := stats.NewRNG(opts.Seed)
-	evals := make([]Evaluation, 0, opts.Samples)
-	for i := 0; i < opts.Samples; i++ {
-		p := space.Sample(rng)
-		ev, err := Evaluate(tr, p, simOpts, season)
-		if err != nil {
-			// An individual invalid combination (possible at space
-			// edges) is skipped, not fatal.
+	params := make([]Params, opts.Samples)
+	for i := range params {
+		params[i] = space.Sample(rng)
+	}
+
+	// Phase 2 — parallel evaluation into index-addressed slots.
+	type outcome struct {
+		ev  Evaluation
+		err error
+	}
+	outcomes := make([]outcome, len(params))
+	_ = parallel.ForEach(context.Background(), len(params), opts.Workers, func(i int) error {
+		ev, err := Evaluate(tr, params[i], simOpts, season)
+		outcomes[i] = outcome{ev: ev, err: err}
+		return nil // individual invalid combinations are skips, not failures
+	})
+
+	// Phase 3 — sequential compaction in sampling order.
+	report.Sampled = len(params)
+	evals := make([]Evaluation, 0, len(params))
+	for i, o := range outcomes {
+		if o.err != nil {
+			report.Skipped++
+			if report.FirstSkip == "" {
+				report.FirstSkip = fmt.Sprintf("sample %d %s: %v", i, params[i], o.err)
+			}
 			continue
 		}
-		evals = append(evals, ev)
+		evals = append(evals, o.ev)
 	}
+	report.Evaluated = len(evals)
 	if len(evals) == 0 {
-		return nil, errors.New("tuning: no valid combinations")
+		return nil, report, fmt.Errorf("tuning: no valid combinations (%d/%d skipped, first: %s)",
+			report.Skipped, report.Sampled, report.FirstSkip)
 	}
-	return evals, nil
+	return evals, report, nil
 }
 
 // NewRecommender builds the CaaSPER recommender a combination describes:
@@ -239,13 +311,7 @@ func Evaluate(tr *trace.Trace, p Params, simOpts sim.Options, seasonMinutes int)
 }
 
 func maxCoresForTrace(tr *trace.Trace) int {
-	peak := 0.0
-	for _, v := range tr.Values {
-		if v > peak {
-			peak = v
-		}
-	}
-	m := int(peak*1.5) + 2
+	m := int(tr.Peak()*1.5) + 2
 	if m < 4 {
 		m = 4
 	}

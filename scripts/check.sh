@@ -1,0 +1,23 @@
+#!/bin/sh
+# Repository-wide verification gate: vet, build, race-enabled tests, and a
+# short benchmark smoke over the hot paths and the parallel engine. Run it
+# before sending changes (or via `make check`).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> benchmark smoke (1x, hot paths + parallel engine)"
+go test -run xxx -bench 'BenchmarkDecide|BenchmarkBuildCurve|BenchmarkSimulateWorkday' -benchtime 1x -benchmem .
+go test -run xxx -bench 'BenchmarkRandomSearchParallel' -benchtime 1x -benchmem ./internal/tuning/
+go test -run xxx -bench 'BenchmarkRunMatrixParallel' -benchtime 1x -benchmem ./internal/sim/
+
+echo "==> OK"
