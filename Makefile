@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench check
+.PHONY: build test race bench bench-all check
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,9 @@ race:
 	$(GO) test -race ./...
 
 bench:
+	sh scripts/bench.sh
+
+bench-all:
 	$(GO) test -run xxx -bench . -benchmem .
 
 # Full verification gate: vet + build + race tests + benchmark smoke.

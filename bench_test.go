@@ -263,6 +263,25 @@ func BenchmarkSimulateWorkday(b *testing.B) {
 	b.ReportMetric(float64(tr.Len()*b.N)/b.Elapsed().Seconds(), "sim_minutes/s")
 }
 
+// BenchmarkSimulateWorkdayEvents measures the same run with a live event
+// sink attached, bounding the telemetry layer's enabled-path cost; compare
+// against BenchmarkSimulateWorkday for the disabled-path (no-op sink) cost.
+func BenchmarkSimulateWorkdayEvents(b *testing.B) {
+	tr := caasper.Workloads["workday12h"](1)
+	opts := caasper.DefaultSimOptions(6, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := caasper.NewReactive(caasper.DefaultConfig(8), 40)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts.Events = caasper.NewMemorySink()
+		if _, err := caasper.Simulate(tr, rec, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkSeasonalNaiveForecast(b *testing.B) {
 	hist := make([]float64, 2*1440)
 	for i := range hist {

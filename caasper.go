@@ -25,7 +25,11 @@
 //     miniature Kubernetes substrate with rolling-update resizes and a
 //     transaction-level database model;
 //   - workload synthesis (Workloads, AlibabaTrace, Stitch) for every
-//     trace family used in the paper's evaluation.
+//     trace family used in the paper's evaluation;
+//   - the structured telemetry layer (EventSink, NDJSONSink,
+//     MetricsRegistry): a deterministic decision-audit event stream plus
+//     runtime metrics, wired through the simulator, the Kubernetes
+//     substrate and the tuning harness.
 //
 // See the examples/ directory for runnable programs and DESIGN.md for the
 // system inventory.
@@ -37,6 +41,7 @@ import (
 	"caasper/internal/dbsim"
 	"caasper/internal/forecast"
 	"caasper/internal/k8s"
+	"caasper/internal/obs"
 	"caasper/internal/pvp"
 	"caasper/internal/recommend"
 	"caasper/internal/sim"
@@ -355,3 +360,38 @@ var MixedOLTP = workload.MixedOLTP
 
 // Stitch recreates a customer trace from benchmark mixes (Stitcher-style).
 var Stitch = workload.Stitch
+
+// ---------------------------------------------------------------------------
+// Telemetry
+
+// Event is one structured telemetry record: simulated time, a dotted type
+// name and ordered key/value fields, NDJSON-encodable bit-identically for
+// every worker count.
+type Event = obs.Event
+
+// EventSink receives structured events; DiscardEvents drops them at
+// near-zero cost and is what every Options zero value means.
+type EventSink = obs.Sink
+
+// NDJSONSink streams events to a writer as newline-delimited JSON.
+type NDJSONSink = obs.NDJSONSink
+
+// MemorySink buffers events in memory (tests, deterministic replay).
+type MemorySink = obs.MemorySink
+
+// MetricsRegistry is a named collection of runtime counters, gauges and
+// latency histograms with a formatted Summary table.
+type MetricsRegistry = obs.Registry
+
+// DiscardEvents is the no-op event sink.
+var DiscardEvents = obs.Discard
+
+// NewNDJSONSink wraps a writer in a buffered NDJSON event sink; call
+// Flush before exit.
+var NewNDJSONSink = obs.NewNDJSONSink
+
+// NewMemorySink returns an in-memory event buffer.
+var NewMemorySink = obs.NewMemorySink
+
+// NewMetricsRegistry returns an empty runtime-metrics registry.
+var NewMetricsRegistry = obs.NewRegistry

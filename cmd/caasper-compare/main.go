@@ -20,6 +20,7 @@ import (
 	"caasper"
 	"caasper/internal/baselines"
 	"caasper/internal/core"
+	"caasper/internal/obs"
 	"caasper/internal/recommend"
 	"caasper/internal/sim"
 	"caasper/internal/trace"
@@ -35,7 +36,15 @@ func main() {
 		season       = flag.Int("season", 1440, "seasonal period for the proactive policy (minutes)")
 		workers      = flag.Int("workers", 0, "worker goroutines for matrix cells (default: GOMAXPROCS; the table is identical for any value)")
 	)
+	var cli obs.CLIConfig
+	cli.Register(flag.CommandLine)
 	flag.Parse()
+
+	session, err := cli.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer session.Finish(os.Stdout)
 
 	traces, err := collectTraces(*workloads, *alibaba, *seed)
 	if err != nil {
@@ -45,12 +54,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	session.Log.Infof("matrix: %d traces x %d recommenders", len(traces), len(factories))
 
 	m, err := sim.RunMatrix(traces, factories, sim.Options{
 		DecisionEveryMinutes: 10,
 		ResizeDelayMinutes:   10,
 		BillingPeriod:        time.Hour,
 		Workers:              *workers,
+		Events:               session.Events,
+		Metrics:              session.Metrics,
 	})
 	if err != nil {
 		fatal(err)

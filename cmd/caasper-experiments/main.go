@@ -15,8 +15,10 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"caasper/internal/experiments"
+	"caasper/internal/obs"
 	"caasper/internal/parallel"
 )
 
@@ -154,7 +156,15 @@ func main() {
 		list    = flag.Bool("list", false, "list experiments and exit")
 		workers = flag.Int("workers", 0, "worker goroutines for fan-out stages (default: GOMAXPROCS)")
 	)
+	var cli obs.CLIConfig
+	cli.Register(flag.CommandLine)
 	flag.Parse()
+
+	session, err := cli.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer session.Finish(os.Stdout)
 
 	if *list {
 		for _, r := range runners {
@@ -197,21 +207,35 @@ func main() {
 		err  error
 	}
 	results, _ := parallel.Map(context.Background(), len(active), *workers, func(i int) (outcome, error) {
+		t0 := time.Now()
 		text, err := active[i].fn(*seed, *samples, *workers)
+		session.Metrics.Histogram("experiments.latency").ObserveSince(t0)
+		session.Log.Infof("%s done in %v", active[i].id, time.Since(t0).Round(time.Millisecond))
 		return outcome{text: text, err: err}, nil
 	})
 
+	// The audit stream is emitted sequentially in declaration order, so
+	// -events output is identical for every -workers value.
 	failed := 0
 	for i, r := range active {
 		fmt.Fprintf(w, "================ %s — %s ================\n", r.id, r.doc)
+		if obs.Enabled(session.Events) {
+			session.Events.Emit(obs.Event{T: int64(i), Type: "experiment.done", Fields: []obs.Field{
+				obs.S("id", r.id),
+				obs.B("ok", results[i].err == nil),
+			}})
+		}
 		if results[i].err != nil {
 			fmt.Fprintf(w, "ERROR: %v\n\n", results[i].err)
+			session.Metrics.Counter("experiments.failed").Inc()
 			failed++
 			continue
 		}
+		session.Metrics.Counter("experiments.succeeded").Inc()
 		fmt.Fprintf(w, "%s\n", results[i].text)
 	}
 	if failed > 0 {
+		session.Finish(os.Stdout)
 		os.Exit(1)
 	}
 }

@@ -15,10 +15,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"caasper"
+	"caasper/internal/obs"
 )
 
 func main() {
@@ -30,8 +35,38 @@ func main() {
 		maxCores     = flag.Int("max", 0, "max cores (default: workload preset)")
 		controlAt    = flag.Int("control-cores", 0, "fixed allocation for -recommender control")
 		seed         = flag.Uint64("seed", 1, "workload seed")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
+	var cli obs.CLIConfig
+	cli.Register(flag.CommandLine)
 	flag.Parse()
+
+	session, err := cli.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer session.Finish(os.Stdout)
+
+	if *pprofAddr != "" {
+		go func() {
+			session.Log.Infof("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				session.Log.Errorf("pprof server: %v", err)
+			}
+		}()
+	}
+
+	// Graceful SIGINT/SIGTERM: flush the event sink and print the obs
+	// summary before exiting, so an interrupted run still yields a valid
+	// NDJSON stream and its metrics.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		fmt.Fprintf(os.Stderr, "\ncaasper-live: %v — flushing telemetry\n", sig)
+		session.Finish(os.Stdout)
+		os.Exit(130)
+	}()
 
 	sched, defInitial, defMax, err := buildSchedule(*workloadName, *seed)
 	if err != nil {
@@ -65,6 +100,8 @@ func main() {
 	if opts.MaxCores > 8 {
 		opts.Cluster = caasper.LargeCluster()
 	}
+	opts.Events = session.Events
+	opts.Metrics = session.Metrics
 
 	fmt.Printf("running %s on Database %s with %s (%d replicas, %d..%d cores)...\n",
 		sched.Name, *database, rec.Name(), opts.Replicas, opts.MinCores, opts.MaxCores)
@@ -81,7 +118,8 @@ func main() {
 	fmt.Printf("interrupted txns:   %.0f (restarts/failovers)\n", res.DB.InterruptedTxns)
 	fmt.Printf("avg / med / p99 latency: %.1f / %.1f / %.1f ms\n",
 		res.DB.AvgLatencyMS, res.DB.MedLatencyMS, res.DB.P99LatencyMS)
-	fmt.Printf("resizes:            %d (failovers %d)\n", res.NumScalings, res.Failovers)
+	fmt.Printf("resizes:            %d (failovers %d, suppressed decisions %d)\n",
+		res.NumScalings, res.Failovers, res.DecisionsSuppressed)
 	fmt.Printf("sum slack:          %.1f core-minutes\n", res.SumSlack)
 	fmt.Printf("sum insufficient:   %.1f core-minutes\n", res.SumInsufficient)
 	fmt.Printf("billed core-hours:  %.0f\n", res.BilledCorePeriods)

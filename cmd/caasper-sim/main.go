@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"caasper"
+	"caasper/internal/obs"
 	"caasper/internal/sim"
 )
 
@@ -47,12 +48,21 @@ func main() {
 		plot         = flag.Bool("plot", true, "print an ASCII chart of limits vs usage")
 		explain      = flag.Bool("explain", false, "print each resize's decision explanation (CaaSPER recommenders)")
 	)
+	var cli obs.CLIConfig
+	cli.Register(flag.CommandLine)
 	flag.Parse()
+
+	session, err := cli.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer session.Finish(os.Stdout)
 
 	tr, err := loadTrace(*workloadName, *alibabaID, *traceFile, *seed)
 	if err != nil {
 		fatal(err)
 	}
+	session.Log.Infof("loaded trace %s: %d minutes", tr.Name, tr.Len())
 	peak := tr.Summarize().Max
 	if *maxCores == 0 {
 		*maxCores = int(peak*1.5) + 2
@@ -71,6 +81,8 @@ func main() {
 	opts.DecisionEveryMinutes = *decisionInt
 	opts.ResizeDelayMinutes = *resizeDelay
 	opts.Workers = *workers
+	opts.Events = session.Events
+	opts.Metrics = session.Metrics
 
 	recNames := splitList(*recName)
 	if len(recNames) == 0 {

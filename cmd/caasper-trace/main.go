@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"caasper"
+	"caasper/internal/obs"
 )
 
 func main() {
@@ -30,7 +31,15 @@ func main() {
 		summary      = flag.Bool("summary", false, "print summary statistics instead of CSV")
 		seed         = flag.Uint64("seed", 1, "generator seed")
 	)
+	var cli obs.CLIConfig
+	cli.Register(flag.CommandLine)
 	flag.Parse()
+
+	session, err := cli.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer session.Finish(os.Stderr) // CSV owns stdout
 
 	if *list {
 		names := make([]string, 0, len(caasper.Workloads))
@@ -50,7 +59,6 @@ func main() {
 	}
 
 	var tr *caasper.Trace
-	var err error
 	switch {
 	case *alibabaID != "":
 		tr, err = caasper.AlibabaTrace(*alibabaID, *seed)
@@ -66,6 +74,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if obs.Enabled(session.Events) {
+		s := tr.Summarize()
+		session.Events.Emit(obs.Event{T: 0, Type: "trace.generated", Fields: []obs.Field{
+			obs.S("name", s.Name),
+			obs.I("samples", int64(s.Samples)),
+			obs.F("mean", s.Mean),
+			obs.F("peak", s.Max),
+		}})
+	}
+	session.Metrics.Counter("trace.samples").Add(int64(tr.Len()))
 
 	if *summary {
 		s := tr.Summarize()

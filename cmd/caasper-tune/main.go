@@ -14,8 +14,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"caasper"
+	"caasper/internal/obs"
 )
 
 func main() {
@@ -28,10 +30,17 @@ func main() {
 		seed         = flag.Uint64("seed", 1, "search and workload seed")
 		workers      = flag.Int("workers", 0, "evaluation worker goroutines (default: GOMAXPROCS; results are identical for any value)")
 	)
+	var cli obs.CLIConfig
+	cli.Register(flag.CommandLine)
 	flag.Parse()
 
+	session, err := cli.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer session.Finish(os.Stdout)
+
 	var tr *caasper.Trace
-	var err error
 	if *alibabaID != "" {
 		tr, err = caasper.AlibabaTrace(*alibabaID, *seed)
 	} else {
@@ -51,11 +60,22 @@ func main() {
 		Seed:          *seed,
 		SeasonMinutes: *season,
 		Workers:       *workers,
+		Events:        session.Events,
+		Metrics:       session.Metrics,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Println(report.String())
+	fmt.Println(report.PoolSummary())
+	reasons := make([]string, 0, len(report.SkipReasons))
+	for reason := range report.SkipReasons {
+		reasons = append(reasons, reason)
+	}
+	sort.Strings(reasons)
+	for _, reason := range reasons {
+		session.Log.Infof("skips: %dx %s", report.SkipReasons[reason], reason)
+	}
 
 	frontier := caasper.ParetoFrontier(evals)
 	fmt.Printf("\nPareto frontier (%d of %d evaluations):\n", len(frontier), len(evals))

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 
+	"caasper/internal/obs"
 	"caasper/internal/pvp"
 	"caasper/internal/stats"
 )
@@ -105,6 +106,20 @@ func appendPreprocessed(dst, usage []float64) []float64 {
 // ready to use; a Scratch handed to a different Recommender resets itself,
 // so a stale memo can never cross configurations.
 type Scratch struct {
+	// Sink, when non-nil and enabled, receives one "core.decision" audit
+	// event per evaluation: branch, slope, skew, raw scaling factor,
+	// quantile and whether the memo answered — the machine-readable form
+	// of the paper's interpretability requirement (R6). It survives owner
+	// resets, so attaching a sink before the first call is safe.
+	Sink obs.Sink
+	// Now is the simulated time stamped on audit events. Loop callers set
+	// it before each decision (the recommend adapters track it from
+	// Observe); it is meaningless when Sink is nil.
+	Now int64
+	// MemoHits / MemoMisses count decisions answered from the memo versus
+	// full Algorithm 1 evaluations — the decision stream's cache telemetry.
+	MemoHits, MemoMisses uint64
+
 	owner *Recommender
 	clean []float64
 	curve pvp.Curve
@@ -113,6 +128,21 @@ type Scratch struct {
 	memoCores int
 	memoClean []float64
 	memoDec   Decision
+}
+
+// emitDecision writes the per-evaluation audit event. Callers guard on
+// Sink being enabled so the disabled path costs one branch.
+func (sc *Scratch) emitDecision(d Decision, memoHit bool) {
+	sc.Sink.Emit(obs.Event{T: sc.Now, Type: "core.decision", Fields: []obs.Field{
+		obs.I("cores", int64(d.CurrentCores)),
+		obs.I("target", int64(d.TargetCores)),
+		obs.S("branch", string(d.Branch)),
+		obs.F("slope", d.Slope),
+		obs.F("skew", d.Skew),
+		obs.F("raw_sf", d.RawSF),
+		obs.F("quantile", d.Quantile),
+		obs.B("memo", memoHit),
+	}})
 }
 
 // Decide runs Algorithm 1 for the current allocation and usage window
@@ -133,7 +163,9 @@ func (r *Recommender) DecideScratch(sc *Scratch, currentCores int, usage []float
 		sc = &Scratch{}
 	}
 	if sc.owner != r {
-		*sc = Scratch{owner: r}
+		// Reset evaluation state but keep the caller-attached telemetry:
+		// a sink installed before the first decision must survive this.
+		*sc = Scratch{owner: r, Sink: sc.Sink, Now: sc.Now}
 	}
 	cfg := r.cfg
 	xc := stats.ClampInt(currentCores, cfg.SKUs.MinCores, cfg.SKUs.MaxCores)
@@ -151,8 +183,13 @@ func (r *Recommender) DecideScratch(sc *Scratch, currentCores int, usage []float
 	// the PvP curve rebuild can be skipped outright when the window stats
 	// are unchanged since the previous tick.
 	if sc.memoValid && xc == sc.memoCores && equalFloats(clean, sc.memoClean) {
+		sc.MemoHits++
+		if obs.Enabled(sc.Sink) {
+			sc.emitDecision(sc.memoDec, true)
+		}
 		return sc.memoDec, nil
 	}
+	sc.MemoMisses++
 
 	// Line 3: build the PvP curve (the refactored SKU recommendation
 	// tool of §4.2, CPU-only), reusing the scratch storage.
@@ -278,6 +315,9 @@ func (r *Recommender) DecideScratch(sc *Scratch, currentCores int, usage []float
 	sc.memoCores = xc
 	sc.memoDec = d
 	sc.memoValid = true
+	if obs.Enabled(sc.Sink) {
+		sc.emitDecision(d, false)
+	}
 	return d, nil
 }
 

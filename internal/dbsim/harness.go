@@ -6,6 +6,7 @@ import (
 
 	"caasper/internal/billing"
 	"caasper/internal/k8s"
+	"caasper/internal/obs"
 	"caasper/internal/recommend"
 	"caasper/internal/workload"
 )
@@ -38,6 +39,14 @@ type HarnessOptions struct {
 	BillingPeriod time.Duration
 	// DB configures the database service model.
 	DB Options
+	// Events, when non-nil and enabled, receives the structured event
+	// stream of the run: the scaler's decision/suppressed-decision
+	// records, the operator's resize/rolling-update/failover lifecycle,
+	// and the recommender's decision audits (recommend.Instrumentable),
+	// all keyed on simulated seconds.
+	Events obs.Sink
+	// Metrics, when non-nil, receives the loop's runtime counters.
+	Metrics *obs.Registry
 }
 
 // DatabaseAOptions returns the paper's Database A setup: 3 replicas with
@@ -86,6 +95,9 @@ type LiveResult struct {
 	NumScalings int
 	// Failovers is the count of primary hand-offs.
 	Failovers int
+	// DecisionsSuppressed counts decision ticks that landed during an
+	// in-flight rolling update (recorded, never enacted).
+	DecisionsSuppressed int
 	// BilledCorePeriods is the pay-as-you-go cost at unit price.
 	BilledCorePeriods float64
 	// DecisionSeries is the scaler's recommendation at each tick.
@@ -136,6 +148,13 @@ func RunLive(sched *workload.LoadSchedule, rec recommend.Recommender, opts Harne
 	scaler, err := k8s.NewScaler(rec, op, ms, opts.DecisionEverySeconds, opts.MinCores, opts.MaxCores)
 	if err != nil {
 		return nil, err
+	}
+	op.Events, op.Stats = opts.Events, opts.Metrics
+	scaler.Events, scaler.Stats = opts.Events, opts.Metrics
+	if obs.Enabled(opts.Events) {
+		if in, ok := rec.(recommend.Instrumentable); ok {
+			in.SetEventSink(opts.Events)
+		}
 	}
 	db, err := New(set, sched, opts.DB)
 	if err != nil {
@@ -195,7 +214,13 @@ func RunLive(sched *workload.LoadSchedule, rec recommend.Recommender, opts Harne
 	res.DB = db.Stats()
 	res.NumScalings = op.ResizeCount
 	res.Failovers = op.FailoverCount
+	res.DecisionsSuppressed = scaler.DecisionsSuppressed
 	res.BilledCorePeriods = meter.BilledCorePeriods()
 	res.DecisionSeries = append([]float64(nil), scaler.DecisionSeries...)
+	if m := opts.Metrics; m != nil {
+		m.Counter("live.seconds").Add(seconds)
+		m.Counter("live.resizes").Add(int64(op.ResizeCount))
+		m.Counter("live.failovers").Add(int64(op.FailoverCount))
+	}
 	return res, nil
 }

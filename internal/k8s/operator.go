@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"caasper/internal/obs"
 )
 
 // Operator coordinates a stateful set's state transitions (paper Figure 1,
@@ -45,11 +47,24 @@ type Operator struct {
 	// ResizeCount counts completed rolling updates.
 	ResizeCount int
 
+	// Events, when non-nil and enabled, receives the operator's
+	// structured lifecycle stream keyed on simulated seconds:
+	// "k8s.resize-requested" / "k8s.resize-rejected", "k8s.rolling-phase"
+	// per pod transition, "k8s.restart-disruption" per eviction,
+	// "k8s.failover" per hand-off and a "k8s.resize-completed" span event
+	// carrying the update's simulated duration.
+	Events obs.Sink
+	// Stats, when non-nil, receives runtime counters (pod restarts,
+	// failovers, completed resizes).
+	Stats *obs.Registry
+
 	// rolling-update state
 	updating    bool
+	started     bool     // first restart of the update has begun
 	targetCores int
-	queue       []*Pod // pods still to restart, in restart order
-	inFlight    *Pod   // pod currently restarting
+	resizeSpan  obs.Span // open resize interval, ends at completion
+	queue       []*Pod   // pods still to restart, in restart order
+	inFlight    *Pod     // pod currently restarting
 	// EffectiveAt records when the most recent resize became effective
 	// for the primary (users "experience" the new allocation).
 	EffectiveAt int64
@@ -82,17 +97,28 @@ func (o *Operator) ResizeDuration() int64 {
 	return o.RestartSeconds * int64(len(o.Set.Pods))
 }
 
+// emit sends one lifecycle event when the sink is enabled.
+func (o *Operator) emit(now int64, typ string, fields ...obs.Field) {
+	if obs.Enabled(o.Events) {
+		o.Events.Emit(obs.Event{T: now, Type: typ, Fields: fields})
+	}
+}
+
 // RequestResize begins a rolling update to the new whole-core limit. It
 // fails while another update is in flight (the scaler serializes on this)
 // or when the target equals the current limit.
 func (o *Operator) RequestResize(targetCores int, now int64) error {
 	if o.updating {
+		o.emit(now, "k8s.resize-rejected", obs.I("to", int64(targetCores)), obs.S("reason", "update in flight"))
 		return fmt.Errorf("k8s: resize to %d rejected: update to %d in flight", targetCores, o.targetCores)
 	}
 	if targetCores < 1 {
+		o.emit(now, "k8s.resize-rejected", obs.I("to", int64(targetCores)), obs.S("reason", "invalid target"))
 		return fmt.Errorf("k8s: invalid target %d", targetCores)
 	}
-	if targetCores == o.Set.CPULimit() {
+	from := o.Set.CPULimit()
+	if targetCores == from {
+		o.emit(now, "k8s.resize-rejected", obs.I("to", int64(targetCores)), obs.S("reason", "target equals current limit"))
 		return fmt.Errorf("k8s: target %d equals current limit", targetCores)
 	}
 	if o.InPlace {
@@ -100,15 +126,26 @@ func (o *Operator) RequestResize(targetCores int, now int64) error {
 		// Node request accounting moves with the spec; a scale-up that
 		// no longer fits its node would be rejected by the real
 		// scheduler too, so reject it here rather than over-commit.
+		o.emit(now, "k8s.resize-requested",
+			obs.I("from", int64(from)), obs.I("to", int64(targetCores)), obs.S("mode", "in-place"))
 		if err := o.resizeInPlace(targetCores); err != nil {
+			o.emit(now, "k8s.resize-rejected", obs.I("to", int64(targetCores)), obs.S("reason", err.Error()))
 			return err
 		}
 		o.ResizeCount++
 		o.EffectiveAt = now
+		o.Stats.Counter("k8s.resizes_completed").Inc()
+		o.emit(now, "k8s.resize-completed",
+			obs.I("dur", 0), obs.I("to", int64(targetCores)), obs.S("mode", "in-place"))
 		return nil
 	}
 	o.updating = true
+	o.started = false
 	o.targetCores = targetCores
+	o.emit(now, "k8s.resize-requested",
+		obs.I("from", int64(from)), obs.I("to", int64(targetCores)),
+		obs.S("mode", "rolling"), obs.I("pods", int64(len(o.Set.Pods))))
+	o.resizeSpan = obs.StartSpan(o.Events, "k8s.resize-completed", now)
 
 	// Restart order: secondaries by ordinal, the current primary last
 	// (§3.1: "the operator policy prioritizes updating the initial
@@ -172,6 +209,9 @@ func (o *Operator) Tick(now int64) {
 		p.Phase = PhaseRunning
 		p.Restarts++
 		o.inFlight = nil
+		o.Stats.Counter("k8s.pod_restarts").Inc()
+		o.emit(now, "k8s.rolling-phase",
+			obs.S("pod", p.Name), obs.S("phase", "running"), obs.I("restarts", int64(p.Restarts)))
 		if o.OnPodUp != nil {
 			o.OnPodUp(p)
 		}
@@ -185,7 +225,15 @@ func (o *Operator) Tick(now int64) {
 		o.updating = false
 		o.ResizeCount++
 		o.EffectiveAt = now
+		o.Stats.Counter("k8s.resizes_completed").Inc()
+		o.resizeSpan.End(now, obs.I("to", int64(o.targetCores)), obs.S("mode", "rolling"))
+		o.resizeSpan = obs.Span{}
 		return
+	}
+	if !o.started {
+		o.started = true
+		o.emit(now, "k8s.resize-started",
+			obs.I("to", int64(o.targetCores)), obs.I("pods", int64(len(o.queue))))
 	}
 	p := o.queue[0]
 	o.queue = o.queue[1:]
@@ -198,6 +246,8 @@ func (o *Operator) Tick(now int64) {
 			p.Role = RoleSecondary
 			s.Role = RolePrimary
 			o.FailoverCount++
+			o.Stats.Counter("k8s.failovers").Inc()
+			o.emit(now, "k8s.failover", obs.S("from", p.Name), obs.S("to", s.Name))
 			if o.OnFailover != nil {
 				o.OnFailover(p, s)
 			}
@@ -205,6 +255,8 @@ func (o *Operator) Tick(now int64) {
 	}
 
 	o.Cluster.Evict(p)
+	o.emit(now, "k8s.restart-disruption",
+		obs.S("pod", p.Name), obs.S("role", string(p.Role)), obs.I("until", now+o.RestartSeconds))
 	if o.OnPodDown != nil {
 		o.OnPodDown(p)
 	}
@@ -212,6 +264,8 @@ func (o *Operator) Tick(now int64) {
 	p.Spec = NewGuaranteedSpec(o.targetCores, o.Set.MemGiBPerPod)
 	p.RestartingUntil = now + o.RestartSeconds
 	o.inFlight = p
+	o.emit(now, "k8s.rolling-phase",
+		obs.S("pod", p.Name), obs.S("phase", "restarting"), obs.I("cores", int64(o.targetCores)))
 }
 
 // pickFailoverTarget chooses the running secondary with the lowest

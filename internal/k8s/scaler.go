@@ -3,6 +3,7 @@ package k8s
 import (
 	"errors"
 
+	"caasper/internal/obs"
 	"caasper/internal/recommend"
 	"caasper/internal/stats"
 )
@@ -33,9 +34,22 @@ type Scaler struct {
 
 	// ScalingsRequested counts accepted resize requests.
 	ScalingsRequested int
+	// DecisionsSuppressed counts decision ticks that landed while a
+	// rolling update was in flight. Those ticks never enter
+	// DecisionSeries (the §5 t-test compares enactable decisions only),
+	// but they are counted — and, with Events enabled, recorded as
+	// "k8s.decision-suppressed" — so a mid-update decision is auditable
+	// instead of silently absent.
+	DecisionsSuppressed int
 	// DecisionSeries records the clamped recommendation at every
 	// decision tick (holds included) for §5's simulator-vs-live t-test.
 	DecisionSeries []float64
+
+	// Events, when non-nil and enabled, receives "k8s.decision" and
+	// "k8s.decision-suppressed" events keyed on simulated seconds.
+	Events obs.Sink
+	// Stats, when non-nil, receives decision counters.
+	Stats *obs.Registry
 
 	cursor       int // metric samples already fed to the recommender
 	nextDecision int64
@@ -85,17 +99,43 @@ func (s *Scaler) Tick(now int64) {
 	}
 	s.nextDecision = now + s.DecisionEverySeconds
 
-	// Health check: never stack decisions on an in-flight update.
+	current := s.Operator.Set.CPULimit()
+
+	// Health check: never stack decisions on an in-flight update. The
+	// suppressed tick is still recorded — the recommender is consulted
+	// (Recommenders are pure functions of their observation history, so
+	// the extra query does not perturb later decisions) and the would-be
+	// target lands in the audit stream, but no resize is issued and the
+	// tick stays out of DecisionSeries.
 	if s.Operator.Updating() {
+		s.DecisionsSuppressed++
+		s.Stats.Counter("k8s.decisions_suppressed").Inc()
+		if obs.Enabled(s.Events) {
+			target := stats.ClampInt(s.Rec.Recommend(current), s.MinCores, s.MaxCores)
+			s.Events.Emit(obs.Event{T: now, Type: "k8s.decision-suppressed", Fields: []obs.Field{
+				obs.I("current", int64(current)),
+				obs.I("target", int64(target)),
+				obs.I("updating_to", int64(s.Operator.TargetCores())),
+				obs.S("reason", "rolling update in flight"),
+			}})
+		}
 		return
 	}
-	current := s.Operator.Set.CPULimit()
 	target := stats.ClampInt(s.Rec.Recommend(current), s.MinCores, s.MaxCores)
 	s.DecisionSeries = append(s.DecisionSeries, float64(target))
+	s.Stats.Counter("k8s.decisions").Inc()
+	if obs.Enabled(s.Events) {
+		s.Events.Emit(obs.Event{T: now, Type: "k8s.decision", Fields: []obs.Field{
+			obs.I("current", int64(current)),
+			obs.I("target", int64(target)),
+			obs.B("hold", target == current),
+		}})
+	}
 	if target == current {
 		return
 	}
 	if err := s.Operator.RequestResize(target, now); err == nil {
 		s.ScalingsRequested++
+		s.Stats.Counter("k8s.resizes_requested").Inc()
 	}
 }

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Log levels. Errors always print; Info prints at verbosity ≥ 1; Debug at
+// verbosity ≥ 2. The zero verbosity is the CLIs' quiet default.
+const (
+	LevelQuiet = 0
+	LevelInfo  = 1
+	LevelDebug = 2
+)
+
+// Logger is a minimal verbosity-leveled line logger. It exists so the
+// CLIs share one leveling convention without pulling a logging framework
+// into a stdlib-only repository. The nil receiver is valid and silent.
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	level int
+}
+
+// NewLogger writes lines at or below the given verbosity to w.
+func NewLogger(w io.Writer, level int) *Logger {
+	return &Logger{w: w, level: level}
+}
+
+// Level returns the configured verbosity (LevelQuiet for nil).
+func (l *Logger) Level() int {
+	if l == nil {
+		return LevelQuiet
+	}
+	return l.level
+}
+
+func (l *Logger) printf(min int, format string, args ...any) {
+	if l == nil || l.level < min {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintf(l.w, format, args...)
+	fmt.Fprintln(l.w)
+}
+
+// Infof logs a progress line (verbosity ≥ 1).
+func (l *Logger) Infof(format string, args ...any) { l.printf(LevelInfo, format, args...) }
+
+// Debugf logs a detail line (verbosity ≥ 2).
+func (l *Logger) Debugf(format string, args ...any) { l.printf(LevelDebug, format, args...) }
+
+// Errorf logs unconditionally (nil receivers excepted).
+func (l *Logger) Errorf(format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.printf(l.level, format, args...)
+}

@@ -12,6 +12,7 @@ import (
 
 	"caasper/internal/core"
 	"caasper/internal/forecast"
+	"caasper/internal/obs"
 )
 
 // Recommender is a pluggable vertical-scaling policy. Implementations are
@@ -44,6 +45,18 @@ type Explainer interface {
 	// Explain returns the last recommendation's explanation ("" when no
 	// recommendation has been made yet).
 	Explain() string
+}
+
+// Instrumentable is implemented by recommenders that can stream a
+// machine-readable decision audit trail (the "core.decision" events of
+// internal/obs). The simulator and live harness attach their run's sink
+// through it; policies that do not implement it simply run un-audited,
+// mirroring Explainer's opt-in contract.
+type Instrumentable interface {
+	// SetEventSink attaches the structured event sink the recommender
+	// should emit decision audits into. A nil or disabled sink turns
+	// auditing off.
+	SetEventSink(s obs.Sink)
 }
 
 // CaaSPERReactive adapts core.Recommender to the Recommender interface:
@@ -79,7 +92,8 @@ func NewCaaSPERReactive(cfg core.Config, window int) (*CaaSPERReactive, error) {
 func (c *CaaSPERReactive) Name() string { return "caasper-reactive" }
 
 // Observe implements Recommender.
-func (c *CaaSPERReactive) Observe(_ int, usageCores float64) {
+func (c *CaaSPERReactive) Observe(minute int, usageCores float64) {
+	c.scratch.Now = int64(minute) // timestamp for the next decision audit
 	c.history = append(c.history, usageCores)
 }
 
@@ -97,15 +111,19 @@ func (c *CaaSPERReactive) Recommend(currentCores int) int {
 	return d.TargetCores
 }
 
-// Reset implements Recommender.
+// Reset implements Recommender. The attached event sink survives: a reset
+// starts a new decision stream, not a new telemetry configuration.
 func (c *CaaSPERReactive) Reset() {
 	c.history = c.history[:0]
-	c.scratch = core.Scratch{}
+	c.scratch = core.Scratch{Sink: c.scratch.Sink}
 	c.LastDecision = core.Decision{}
 }
 
 // Explain implements Explainer.
 func (c *CaaSPERReactive) Explain() string { return c.LastDecision.Explanation }
+
+// SetEventSink implements Instrumentable.
+func (c *CaaSPERReactive) SetEventSink(s obs.Sink) { c.scratch.Sink = s }
 
 // CaaSPERProactive adapts core.Proactive: full history is retained so the
 // forecaster can learn the seasonal pattern, and each decision evaluates
@@ -141,7 +159,8 @@ func NewCaaSPERProactive(cfg core.Config, f forecast.Forecaster, observedWindow,
 func (c *CaaSPERProactive) Name() string { return "caasper-proactive" }
 
 // Observe implements Recommender.
-func (c *CaaSPERProactive) Observe(_ int, usageCores float64) {
+func (c *CaaSPERProactive) Observe(minute int, usageCores float64) {
+	c.scratch.Now = int64(minute) // timestamp for the next decision audit
 	c.history = append(c.history, usageCores)
 }
 
@@ -156,13 +175,17 @@ func (c *CaaSPERProactive) Recommend(currentCores int) int {
 	return d.TargetCores
 }
 
-// Reset implements Recommender.
+// Reset implements Recommender. The attached event sink survives (see
+// CaaSPERReactive.Reset).
 func (c *CaaSPERProactive) Reset() {
 	c.history = c.history[:0]
-	c.scratch = core.Scratch{}
+	c.scratch = core.Scratch{Sink: c.scratch.Sink}
 	c.LastUsedForecast = false
 	c.LastDecision = core.Decision{}
 }
 
 // Explain implements Explainer.
 func (c *CaaSPERProactive) Explain() string { return c.LastDecision.Explanation }
+
+// SetEventSink implements Instrumentable.
+func (c *CaaSPERProactive) SetEventSink(s obs.Sink) { c.scratch.Sink = s }

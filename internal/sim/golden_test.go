@@ -3,8 +3,13 @@ package sim
 import (
 	"testing"
 
+	"runtime"
+	"strings"
+
 	"caasper/internal/core"
+	"caasper/internal/obs"
 	"caasper/internal/recommend"
+	"caasper/internal/trace"
 	"caasper/internal/workload"
 )
 
@@ -70,5 +75,86 @@ func TestGoldenWorkdayDecisionSequence(t *testing.T) {
 	}
 	if res.ThroughputProxy() < 0.97 {
 		t.Errorf("throughput = %v, golden ≈0.98", res.ThroughputProxy())
+	}
+}
+
+// encodeStream renders a memory sink's events as one NDJSON string.
+func encodeStream(mem *obs.MemorySink) string {
+	var b strings.Builder
+	var buf []byte
+	for _, e := range mem.Events() {
+		buf = e.AppendNDJSON(buf[:0])
+		b.Write(buf)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Golden event-stream test: the telemetry determinism contract. The same
+// fixed-seed workload must yield a byte-identical NDJSON event stream for
+// every worker count, because events are keyed on simulated time, cells
+// buffer their streams, and the matrix replays them in cell order.
+func TestGoldenWorkdayEventStreamDeterministicAcrossWorkers(t *testing.T) {
+	factories := []RecommenderFactory{
+		{Name: "caasper", New: func() (recommend.Recommender, error) {
+			return recommend.NewCaaSPERReactive(core.DefaultConfig(8), 40)
+		}},
+		{Name: "caasper-2", New: func() (recommend.Recommender, error) {
+			return recommend.NewCaaSPERReactive(core.DefaultConfig(8), 60)
+		}},
+	}
+	run := func(workers int) string {
+		t.Helper()
+		tr := workload.Workday12h(42)
+		mem := obs.NewMemorySink()
+		opts := DefaultOptions(8, 8)
+		opts.Workers = workers
+		opts.Events = mem
+		if _, err := RunMatrix([]*trace.Trace{tr}, factories, opts); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return encodeStream(mem)
+	}
+
+	want := run(1)
+	if want == "" {
+		t.Fatal("empty event stream")
+	}
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+		if got := run(workers); got != want {
+			t.Errorf("workers=%d: event stream not byte-identical to sequential run (%d vs %d bytes)",
+				workers, len(got), len(want))
+		}
+	}
+
+	// Structural golden checks on the sequential stream: two cell headers
+	// in cell order, and the first cell's resize events open with the
+	// golden t=10 resize (integer fields: safe to pin exactly).
+	lines := strings.Split(strings.TrimSuffix(want, "\n"), "\n")
+	if !strings.Contains(lines[0], `"type":"sim.run"`) || !strings.Contains(lines[0], `"recommender":"caasper"`) {
+		t.Errorf("stream must open with the first cell header, got %s", lines[0])
+	}
+	headers, resizes := 0, 0
+	firstResize := ""
+	for _, l := range lines {
+		if strings.Contains(l, `"type":"sim.run"`) {
+			headers++
+		}
+		if strings.Contains(l, `"type":"sim.resize"`) {
+			resizes++
+			if firstResize == "" {
+				firstResize = l
+			}
+		}
+	}
+	if headers != 2 {
+		t.Errorf("cell headers = %d, want 2", headers)
+	}
+	if resizes == 0 {
+		t.Error("no resize events in stream")
+	}
+	const goldenFirstResize = `{"t":20,"type":"sim.resize","from":8,"to":4,"decided":10,"effective":20}`
+	if firstResize != goldenFirstResize {
+		t.Errorf("first resize event drifted:\n got  %s\n want %s", firstResize, goldenFirstResize)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"caasper/internal/obs"
 	"caasper/internal/parallel"
 	"caasper/internal/recommend"
 	"caasper/internal/trace"
@@ -85,6 +86,18 @@ func RunMatrix(traces []*trace.Trace, factories []RecommenderFactory, opts Optio
 		perTrace[i] = cellOpts
 	}
 
+	// Event determinism across worker counts: concurrent cells must not
+	// interleave on a shared sink, so each cell captures its stream into
+	// its own memory sink and the streams are replayed into the caller's
+	// sink sequentially, in cell order, after the pool drains. Each cell's
+	// replay is preceded by a "sim.run" header identifying it.
+	shared := opts.Events
+	emitShared := obs.Enabled(shared)
+	var cellSinks []*obs.MemorySink
+	if emitShared {
+		cellSinks = make([]*obs.MemorySink, len(traces)*len(factories))
+	}
+
 	m := &Matrix{Cells: make([]MatrixCell, len(traces)*len(factories))}
 	err := parallel.ForEach(context.Background(), len(m.Cells), opts.Workers, func(idx int) error {
 		ti, fi := idx/len(factories), idx%len(factories)
@@ -93,7 +106,12 @@ func RunMatrix(traces []*trace.Trace, factories []RecommenderFactory, opts Optio
 		if err != nil {
 			return fmt.Errorf("sim: building %s: %w", f.Name, err)
 		}
-		res, err := Run(tr, rec, perTrace[ti])
+		cellOpts := perTrace[ti]
+		if emitShared {
+			cellSinks[idx] = obs.NewMemorySink()
+			cellOpts.Events = cellSinks[idx]
+		}
+		res, err := Run(tr, rec, cellOpts)
 		if err != nil {
 			return fmt.Errorf("sim: %s on %s: %w", f.Name, tr.Name, err)
 		}
@@ -106,6 +124,17 @@ func RunMatrix(traces []*trace.Trace, factories []RecommenderFactory, opts Optio
 	})
 	if err != nil {
 		return nil, err
+	}
+	if emitShared {
+		for idx, mem := range cellSinks {
+			c := m.Cells[idx]
+			shared.Emit(obs.Event{T: 0, Type: "sim.run", Fields: []obs.Field{
+				obs.S("trace", c.TraceName),
+				obs.S("recommender", c.RecommenderName),
+				obs.I("cell", int64(idx)),
+			}})
+			mem.ReplayTo(shared)
+		}
 	}
 	return m, nil
 }

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"caasper/internal/billing"
+	"caasper/internal/obs"
 	"caasper/internal/recommend"
 	"caasper/internal/stats"
 	"caasper/internal/trace"
@@ -51,6 +52,19 @@ type Options struct {
 	// always one sequential replay — the parallelism is across runs, so
 	// results stay deterministic for every worker count.
 	Workers int
+	// Events, when non-nil and enabled, receives the run's structured
+	// event stream: "sim.resize" per enacted resize, "sim.throttle" per
+	// throttled minute, "sim.slack" per decision tick, plus the
+	// recommender's "core.decision" audits when it implements
+	// recommend.Instrumentable. Every event is keyed on the simulated
+	// minute and emitted in replay order, so the stream is byte-identical
+	// across runs and worker counts (RunMatrix buffers per cell and
+	// replays in cell order to preserve this).
+	Events obs.Sink
+	// Metrics, when non-nil, receives end-of-run counters (decisions,
+	// resizes, throttled minutes). It is runtime telemetry, outside the
+	// determinism contract.
+	Metrics *obs.Registry
 }
 
 // DefaultOptions returns the configuration used across the experiments:
@@ -238,6 +252,16 @@ func Run(tr *trace.Trace, rec recommend.Recommender, opts Options) (*Result, err
 		}
 	}
 
+	// Event emission is guarded once: with the sink disabled (the
+	// default) the replay loop pays one branch per minute and allocates
+	// nothing for telemetry.
+	events := obs.Enabled(opts.Events)
+	if events {
+		if in, ok := rec.(recommend.Instrumentable); ok {
+			in.SetEventSink(opts.Events)
+		}
+	}
+
 	var pendingExplanation string
 	enact := func(t int) {
 		if pendingTarget != limit {
@@ -249,11 +273,24 @@ func Run(tr *trace.Trace, rec recommend.Recommender, opts Options) (*Result, err
 				Explanation: pendingExplanation,
 			})
 			res.NumScalings++
+			if events {
+				opts.Events.Emit(obs.Event{T: int64(t), Type: "sim.resize", Fields: []obs.Field{
+					obs.I("from", int64(limit)),
+					obs.I("to", int64(pendingTarget)),
+					obs.I("decided", int64(pendingAt - opts.ResizeDelayMinutes)),
+					obs.I("effective", int64(t)),
+				}})
+			}
 			limit = pendingTarget
 		}
 		pendingTarget, pendingAt = -1, -1
 		pendingExplanation = ""
 	}
+
+	// slackSinceTick accumulates slack between decision ticks for the
+	// per-tick "sim.slack" event; lastTick is the previous tick's minute.
+	var slackSinceTick float64
+	lastTick := 0
 
 	for t := 0; t < n; t++ {
 		// Enact a completed resize before metering the minute.
@@ -268,9 +305,17 @@ func Run(tr *trace.Trace, rec recommend.Recommender, opts Options) (*Result, err
 		res.Usage[t] = usage
 		res.Limits[t] = capf
 		res.SumSlack += capf - usage
+		slackSinceTick += capf - usage
 		if insuff := demand - capf; insuff > 0 {
 			res.SumInsufficient += insuff
 			res.ThrottledMinutes++
+			if events {
+				opts.Events.Emit(obs.Event{T: int64(t), Type: "sim.throttle", Fields: []obs.Field{
+					obs.F("demand", demand),
+					obs.F("limit", capf),
+					obs.F("insufficient", insuff),
+				}})
+			}
 		}
 
 		rec.Observe(t, usage)
@@ -278,6 +323,14 @@ func Run(tr *trace.Trace, rec recommend.Recommender, opts Options) (*Result, err
 
 		// Decision tick: only when idle (no resize in flight).
 		if t >= warmup && t%opts.DecisionEveryMinutes == 0 && pendingTarget < 0 {
+			if events {
+				opts.Events.Emit(obs.Event{T: int64(t), Type: "sim.slack", Fields: []obs.Field{
+					obs.F("limit", capf),
+					obs.F("slack", slackSinceTick),
+					obs.I("window", int64(t-lastTick)),
+				}})
+			}
+			slackSinceTick, lastTick = 0, t
 			target := stats.ClampInt(rec.Recommend(limit), opts.MinCores, opts.MaxCores)
 			res.DecisionSeries = append(res.DecisionSeries, float64(target))
 			if target != limit {
@@ -300,5 +353,12 @@ func Run(tr *trace.Trace, rec recommend.Recommender, opts Options) (*Result, err
 	res.ThrottledPct = float64(res.ThrottledMinutes) / float64(n)
 	res.AvgSlack = res.SumSlack / float64(n)
 	res.AvgInsufficient = res.SumInsufficient / float64(n)
+	if m := opts.Metrics; m != nil {
+		m.Counter("sim.runs").Inc()
+		m.Counter("sim.minutes").Add(int64(n))
+		m.Counter("sim.decisions").Add(int64(len(res.DecisionSeries)))
+		m.Counter("sim.resizes").Add(int64(res.NumScalings))
+		m.Counter("sim.throttled_minutes").Add(int64(res.ThrottledMinutes))
+	}
 	return res, nil
 }

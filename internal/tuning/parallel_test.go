@@ -27,13 +27,26 @@ func TestRandomSearchDeterministicAcrossWorkerCounts(t *testing.T) {
 		return evals, report
 	}
 
+	// Pool runtime stats (latency, utilization, worker count) are
+	// wall-clock and legitimately vary across runs; the determinism
+	// contract covers the outcome accounting only.
+	deterministic := func(r SearchReport) SearchReport {
+		return SearchReport{
+			Sampled:     r.Sampled,
+			Evaluated:   r.Evaluated,
+			Skipped:     r.Skipped,
+			FirstSkip:   r.FirstSkip,
+			SkipReasons: r.SkipReasons,
+		}
+	}
+
 	want, wantReport := run(1)
 	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
 		got, gotReport := run(workers)
 		if !reflect.DeepEqual(got, want) {
 			t.Errorf("workers=%d: evaluations differ from sequential run", workers)
 		}
-		if gotReport != wantReport {
+		if !reflect.DeepEqual(deterministic(gotReport), deterministic(wantReport)) {
 			t.Errorf("workers=%d: report = %+v, want %+v", workers, gotReport, wantReport)
 		}
 	}

@@ -15,6 +15,7 @@ import (
 
 	"caasper/internal/core"
 	"caasper/internal/forecast"
+	"caasper/internal/obs"
 	"caasper/internal/parallel"
 	"caasper/internal/pvp"
 	"caasper/internal/recommend"
@@ -169,6 +170,13 @@ type SearchOptions struct {
 	// stream before any evaluation starts, and evaluations land in
 	// index-addressed slots.
 	Workers int
+	// Events, when non-nil and enabled, receives one "tuning.skip" event
+	// per rejected combination, emitted in sampling order during the
+	// sequential compaction phase — deterministic for every worker count.
+	Events obs.Sink
+	// Metrics, when non-nil, receives the search's runtime counters
+	// (tuning.sampled / tuning.evaluated / tuning.skipped).
+	Metrics *obs.Registry
 }
 
 // SearchReport summarises a RandomSearch run: how many combinations were
@@ -187,6 +195,22 @@ type SearchReport struct {
 	// FirstSkip describes the first skipped combination (by sampling
 	// order) — "" when nothing was skipped.
 	FirstSkip string
+	// SkipReasons tallies skips by validation message, so a mis-bounded
+	// space shows *which* edge is wrong, not just how often.
+	SkipReasons map[string]int
+
+	// Evaluation-pool runtime stats (wall-clock; not deterministic).
+	// PoolTasks is the number of evaluations the pool executed,
+	// PoolWorkers its size, PoolMaxQueue the deepest backlog observed,
+	// PoolUtilization the busy÷capacity fraction in [0, 1].
+	PoolTasks       int
+	PoolWorkers     int
+	PoolMaxQueue    int
+	PoolUtilization float64
+	// EvalLatencyP50 / EvalLatencyP99 are per-evaluation wall-latency
+	// quantiles in milliseconds.
+	EvalLatencyP50 float64
+	EvalLatencyP99 float64
 }
 
 // String renders the report compactly.
@@ -196,6 +220,13 @@ func (r SearchReport) String() string {
 	}
 	return fmt.Sprintf("SearchReport{%d/%d evaluated, %d skipped; first skip: %s}",
 		r.Evaluated, r.Sampled, r.Skipped, r.FirstSkip)
+}
+
+// PoolSummary renders the evaluation pool's runtime behaviour on one line.
+func (r SearchReport) PoolSummary() string {
+	return fmt.Sprintf("pool: %d tasks on %d workers, max queue %d, utilization %.0f%%, eval latency p50 %.1fms p99 %.1fms",
+		r.PoolTasks, r.PoolWorkers, r.PoolMaxQueue, 100*r.PoolUtilization,
+		r.EvalLatencyP50, r.EvalLatencyP99)
 }
 
 // RandomSearch evaluates Samples random combinations on the trace. The
@@ -243,20 +274,26 @@ func RandomSearchReport(tr *trace.Trace, opts SearchOptions) ([]Evaluation, Sear
 		params[i] = space.Sample(rng)
 	}
 
-	// Phase 2 — parallel evaluation into index-addressed slots.
+	// Phase 2 — parallel evaluation into index-addressed slots, with the
+	// pool's runtime behaviour (latency quantiles, queue depth,
+	// utilization) captured for the report.
 	type outcome struct {
 		ev  Evaluation
 		err error
 	}
 	outcomes := make([]outcome, len(params))
-	_ = parallel.ForEach(context.Background(), len(params), opts.Workers, func(i int) error {
+	poolStats := parallel.NewStats()
+	_ = parallel.ForEachStats(context.Background(), len(params), opts.Workers, poolStats, func(i int) error {
 		ev, err := Evaluate(tr, params[i], simOpts, season)
 		outcomes[i] = outcome{ev: ev, err: err}
 		return nil // individual invalid combinations are skips, not failures
 	})
 
-	// Phase 3 — sequential compaction in sampling order.
+	// Phase 3 — sequential compaction in sampling order. Skip events are
+	// emitted here, not from the workers, so the stream is deterministic
+	// for every worker count.
 	report.Sampled = len(params)
+	emitSkips := obs.Enabled(opts.Events)
 	evals := make([]Evaluation, 0, len(params))
 	for i, o := range outcomes {
 		if o.err != nil {
@@ -264,11 +301,34 @@ func RandomSearchReport(tr *trace.Trace, opts SearchOptions) ([]Evaluation, Sear
 			if report.FirstSkip == "" {
 				report.FirstSkip = fmt.Sprintf("sample %d %s: %v", i, params[i], o.err)
 			}
+			if report.SkipReasons == nil {
+				report.SkipReasons = make(map[string]int)
+			}
+			report.SkipReasons[o.err.Error()]++
+			if emitSkips {
+				opts.Events.Emit(obs.Event{T: int64(i), Type: "tuning.skip", Fields: []obs.Field{
+					obs.I("sample", int64(i)),
+					obs.S("params", params[i].String()),
+					obs.S("reason", o.err.Error()),
+				}})
+			}
 			continue
 		}
 		evals = append(evals, o.ev)
 	}
 	report.Evaluated = len(evals)
+	report.PoolTasks = int(poolStats.Tasks())
+	report.PoolWorkers = poolStats.Workers()
+	report.PoolMaxQueue = int(poolStats.MaxQueueDepth())
+	report.PoolUtilization = poolStats.Utilization()
+	report.EvalLatencyP50 = poolStats.Latency().Quantile(0.5) / 1e6
+	report.EvalLatencyP99 = poolStats.Latency().Quantile(0.99) / 1e6
+	if m := opts.Metrics; m != nil {
+		m.Counter("tuning.sampled").Add(int64(report.Sampled))
+		m.Counter("tuning.evaluated").Add(int64(report.Evaluated))
+		m.Counter("tuning.skipped").Add(int64(report.Skipped))
+		m.Gauge("tuning.pool_utilization").Set(report.PoolUtilization)
+	}
 	if len(evals) == 0 {
 		return nil, report, fmt.Errorf("tuning: no valid combinations (%d/%d skipped, first: %s)",
 			report.Skipped, report.Sampled, report.FirstSkip)

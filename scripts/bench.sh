@@ -1,0 +1,44 @@
+#!/bin/sh
+# Benchmark capture: runs the hot-path benchmarks and writes the results
+# as machine-readable JSON to BENCH_sim.json (array of {name, ns_op,
+# allocs_op, bytes_op}), so perf regressions are diffable across commits.
+#
+#   scripts/bench.sh                # default filter + count
+#   BENCH_FILTER=BenchmarkDecide scripts/bench.sh
+#   BENCH_COUNT=5 scripts/bench.sh  # more samples (go test -count semantics
+#                                   # via -benchtime; last sample wins here)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+FILTER="${BENCH_FILTER:-BenchmarkDecide|BenchmarkBuildCurve|BenchmarkSimulateWorkday|BenchmarkRandomSearch\$}"
+BENCHTIME="${BENCH_BENCHTIME:-1s}"
+OUT="${BENCH_OUT:-BENCH_sim.json}"
+
+echo "==> go test -bench '$FILTER' -benchtime $BENCHTIME -benchmem ."
+RAW="$(go test -run xxx -bench "$FILTER" -benchtime "$BENCHTIME" -benchmem . | tee /dev/stderr)"
+
+# A benchmark line looks like:
+#   BenchmarkSimulateWorkday-8   5000   207482 ns/op   55562 B/op   387 allocs/op
+printf '%s\n' "$RAW" | awk '
+BEGIN { print "["; n = 0 }
+$1 ~ /^Benchmark/ && /ns\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i-1)
+        if ($i == "B/op")      bytes = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (ns == "") next
+    if (n++) print ","
+    printf "  {\"name\": \"%s\", \"ns_op\": %s", name, ns
+    if (bytes != "")  printf ", \"bytes_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_op\": %s", allocs
+    printf "}"
+}
+END { if (n) print ""; print "]" }
+' > "$OUT"
+
+echo "==> wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)"

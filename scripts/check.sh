@@ -20,4 +20,12 @@ go test -run xxx -bench 'BenchmarkDecide|BenchmarkBuildCurve|BenchmarkSimulateWo
 go test -run xxx -bench 'BenchmarkRandomSearchParallel' -benchtime 1x -benchmem ./internal/tuning/
 go test -run xxx -bench 'BenchmarkRunMatrixParallel' -benchtime 1x -benchmem ./internal/sim/
 
+# Optional stage: capture full benchmark numbers to BENCH_sim.json for
+# cross-commit diffing. Off by default (it costs real benchtime); enable
+# with CHECK_BENCH=1 make check.
+if [ "${CHECK_BENCH:-0}" = "1" ]; then
+    echo "==> benchmark capture (scripts/bench.sh -> BENCH_sim.json)"
+    sh scripts/bench.sh
+fi
+
 echo "==> OK"
