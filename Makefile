@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-all check
+.PHONY: build test race bench bench-all check chaos
 
 build:
 	$(GO) build ./...
@@ -20,3 +20,8 @@ bench-all:
 # Full verification gate: vet + build + race tests + benchmark smoke.
 check:
 	sh scripts/check.sh
+
+# Fixed-seed fault-injection matrix diffed against the chaos goldens.
+# Regenerate after an intentional behaviour change: UPDATE=1 make chaos
+chaos:
+	sh scripts/chaos.sh

@@ -29,7 +29,10 @@
 //   - the structured telemetry layer (EventSink, NDJSONSink,
 //     MetricsRegistry): a deterministic decision-audit event stream plus
 //     runtime metrics, wired through the simulator, the Kubernetes
-//     substrate and the tuning harness.
+//     substrate and the tuning harness;
+//   - seeded deterministic fault injection (ParseFaultSpec,
+//     NewFaultInjector): failed/stuck restarts, metric gaps and
+//     scheduling pressure, reproducible byte-for-byte from one seed.
 //
 // See the examples/ directory for runnable programs and DESIGN.md for the
 // system inventory.
@@ -39,6 +42,7 @@ import (
 	"caasper/internal/baselines"
 	"caasper/internal/core"
 	"caasper/internal/dbsim"
+	"caasper/internal/faults"
 	"caasper/internal/forecast"
 	"caasper/internal/k8s"
 	"caasper/internal/obs"
@@ -344,6 +348,26 @@ func DatabaseB(initial, maxCores int) LiveOptions { return dbsim.DatabaseBOption
 func RunLive(sched *LoadSchedule, rec Recommender, opts LiveOptions) (*LiveResult, error) {
 	return dbsim.RunLive(sched, rec, opts)
 }
+
+// FaultSpec is a parsed fault-injection specification (what to inject,
+// with which probabilities and durations).
+type FaultSpec = faults.Spec
+
+// FaultInjector draws deterministic faults from a spec and a seed: the
+// same seed reproduces the same fault pattern byte-for-byte at any
+// worker count. A nil injector is inert (the fault-free fast path).
+type FaultInjector = faults.Injector
+
+// FaultCounts tallies injected faults by kind.
+type FaultCounts = faults.Counts
+
+// ParseFaultSpec parses the -faults grammar, e.g.
+// "restart-fail:p=0.1,restart-stuck:p=0.05:dur=600,metrics-gap:p=0.02".
+// Empty input yields an empty spec; NewFaultInjector then returns nil.
+var ParseFaultSpec = faults.ParseSpec
+
+// NewFaultInjector builds a deterministic injector (nil for empty specs).
+var NewFaultInjector = faults.New
 
 // WorkdaySchedule returns the §6.2 12-hour live workload.
 var WorkdaySchedule = workload.WorkdaySchedule

@@ -10,6 +10,11 @@
 //	caasper-live -workload workday -database A -recommender caasper
 //	caasper-live -workload cyclical -database B -recommender caasper-proactive
 //	caasper-live -workload workday -recommender control -control-cores 6
+//
+// Chaos runs inject deterministic faults (same -fault-seed, same faults):
+//
+//	caasper-live -workload workday -recommender caasper \
+//	    -faults "restart-stuck:p=0.3:dur=600,metrics-gap:p=0.01" -fault-seed 7
 package main
 
 import (
@@ -35,6 +40,8 @@ func main() {
 		maxCores     = flag.Int("max", 0, "max cores (default: workload preset)")
 		controlAt    = flag.Int("control-cores", 0, "fixed allocation for -recommender control")
 		seed         = flag.Uint64("seed", 1, "workload seed")
+		faultSpec    = flag.String("faults", "", `fault-injection spec, e.g. "restart-fail:p=0.1,restart-stuck:p=0.05:dur=600,metrics-gap:p=0.02,sched-pressure:cores=4" (empty: fault-free)`)
+		faultSeed    = flag.Uint64("fault-seed", 1, "fault-injection seed (same seed, same faults, byte-identical stream)")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	var cli obs.CLIConfig
@@ -103,6 +110,13 @@ func main() {
 	opts.Events = session.Events
 	opts.Metrics = session.Metrics
 
+	spec, err := caasper.ParseFaultSpec(*faultSpec)
+	if err != nil {
+		fatal(err)
+	}
+	inj := caasper.NewFaultInjector(spec, *faultSeed)
+	opts.Faults = inj
+
 	fmt.Printf("running %s on Database %s with %s (%d replicas, %d..%d cores)...\n",
 		sched.Name, *database, rec.Name(), opts.Replicas, opts.MinCores, opts.MaxCores)
 	start := time.Now()
@@ -123,6 +137,11 @@ func main() {
 	fmt.Printf("sum slack:          %.1f core-minutes\n", res.SumSlack)
 	fmt.Printf("sum insufficient:   %.1f core-minutes\n", res.SumInsufficient)
 	fmt.Printf("billed core-hours:  %.0f\n", res.BilledCorePeriods)
+	if inj != nil {
+		fmt.Printf("\n%s", inj.Summary())
+		fmt.Printf("  restart retries:           %d\n", res.RestartRetries)
+		fmt.Printf("  resizes aborted:           %d\n", res.ResizesAborted)
+	}
 }
 
 func buildSchedule(name string, seed uint64) (*caasper.LoadSchedule, int, int, error) {

@@ -14,6 +14,12 @@
 // across a worker pool and prints the comparison table instead:
 //
 //	caasper-sim -workload cyclical3d -recommender caasper,vpa,autopilot -workers 4
+//
+// Chaos runs inject deterministic faults into every replay (fault times
+// are in simulated minutes here, the simulator's tick):
+//
+//	caasper-sim -workload workday12h -recommender caasper,vpa \
+//	    -faults "restart-fail:p=0.2,metrics-gap:p=0.05" -fault-seed 7
 package main
 
 import (
@@ -44,6 +50,8 @@ func main() {
 		decisionInt  = flag.Int("decision-interval", 10, "minutes between decisions")
 		resizeDelay  = flag.Int("resize-delay", 10, "minutes for a resize to take effect")
 		seed         = flag.Uint64("seed", 1, "workload seed")
+		faultSpec    = flag.String("faults", "", `fault-injection spec, e.g. "restart-fail:p=0.2,metrics-gap:p=0.05" (times in minutes; empty: fault-free)`)
+		faultSeed    = flag.Uint64("fault-seed", 1, "fault-injection seed (same seed, same faults, byte-identical stream)")
 		workers      = flag.Int("workers", 0, "worker goroutines for multi-recommender runs (default: GOMAXPROCS)")
 		plot         = flag.Bool("plot", true, "print an ASCII chart of limits vs usage")
 		explain      = flag.Bool("explain", false, "print each resize's decision explanation (CaaSPER recommenders)")
@@ -83,6 +91,12 @@ func main() {
 	opts.Workers = *workers
 	opts.Events = session.Events
 	opts.Metrics = session.Metrics
+	spec, err := caasper.ParseFaultSpec(*faultSpec)
+	if err != nil {
+		fatal(err)
+	}
+	opts.Faults = spec
+	opts.FaultSeed = *faultSeed
 
 	recNames := splitList(*recName)
 	if len(recNames) == 0 {
@@ -128,6 +142,14 @@ func main() {
 	fmt.Printf("throttled obs:      %.2f%%\n", res.ThrottledPct*100)
 	fmt.Printf("throughput proxy:   %.1f%%\n", res.ThroughputProxy()*100)
 	fmt.Printf("billed core-hours:  %.0f\n", res.BilledCorePeriods)
+	if !spec.Empty() {
+		c := res.FaultCounts
+		fmt.Printf("chaos: spec=%s seed=%d\n", spec, *faultSeed)
+		fmt.Printf("  resizes aborted (restart-fail): %d\n", res.AbortedScalings)
+		fmt.Printf("  restarts stuck:                 %d\n", c.RestartStucks)
+		fmt.Printf("  metric samples dropped:         %d\n", c.MetricsGaps)
+		fmt.Printf("  scheduling-pressure windows:    %d\n", c.PressureWindows)
+	}
 	if len(res.Decisions) > 0 {
 		fmt.Printf("scalings:\n")
 		for _, d := range res.Decisions {

@@ -261,11 +261,15 @@ func (d *Database) Tick(now int64, ms *k8s.MetricsServer) {
 			demand += d.Opts.SecondaryIdleCores
 		}
 		used := p.ConsumeCPU(demand, 1)
+		if !p.Running() {
+			// No kubelet scrape exists for a down pod: recording a zero
+			// here would turn the restart gap into *measured* idleness.
+			// Skipping instead closes those buckets as silent, which the
+			// scaler carries over rather than feeding to the recommender.
+			continue
+		}
 		if ms != nil {
 			ms.RecordUsage(p.Name, now, used)
-		}
-		if !p.Running() {
-			continue
 		}
 		// Replication-apply overhead is served first on secondaries.
 		avail := used

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"caasper/internal/billing"
+	"caasper/internal/faults"
 	"caasper/internal/k8s"
 	"caasper/internal/obs"
 	"caasper/internal/recommend"
@@ -39,11 +40,17 @@ type HarnessOptions struct {
 	BillingPeriod time.Duration
 	// DB configures the database service model.
 	DB Options
+	// Faults, when non-nil, injects failures into the run: failed and
+	// stuck pod restarts (operator), scheduling pressure (cluster) and
+	// metric sample loss (metrics server). Nil runs fault-free with the
+	// hooks compiled down to nil checks.
+	Faults *faults.Injector
 	// Events, when non-nil and enabled, receives the structured event
 	// stream of the run: the scaler's decision/suppressed-decision
 	// records, the operator's resize/rolling-update/failover lifecycle,
-	// and the recommender's decision audits (recommend.Instrumentable),
-	// all keyed on simulated seconds.
+	// the fault injector's "fault.*" records, and the recommender's
+	// decision audits (recommend.Instrumentable), all keyed on simulated
+	// seconds.
 	Events obs.Sink
 	// Metrics, when non-nil, receives the loop's runtime counters.
 	Metrics *obs.Registry
@@ -98,6 +105,12 @@ type LiveResult struct {
 	// DecisionsSuppressed counts decision ticks that landed during an
 	// in-flight rolling update (recorded, never enacted).
 	DecisionsSuppressed int
+	// RestartRetries / ResizesAborted count the operator's backed-off
+	// restart retries and abandoned rolling updates (0 without faults).
+	RestartRetries int
+	ResizesAborted int
+	// FaultCounts tallies injected faults (zero without faults).
+	FaultCounts faults.Counts
 	// BilledCorePeriods is the pay-as-you-go cost at unit price.
 	BilledCorePeriods float64
 	// DecisionSeries is the scaler's recommendation at each tick.
@@ -151,6 +164,11 @@ func RunLive(sched *workload.LoadSchedule, rec recommend.Recommender, opts Harne
 	}
 	op.Events, op.Stats = opts.Events, opts.Metrics
 	scaler.Events, scaler.Stats = opts.Events, opts.Metrics
+	if opts.Faults != nil {
+		opts.Faults.Events, opts.Faults.Stats = opts.Events, opts.Metrics
+		op.Faults = opts.Faults
+		ms.Faults = opts.Faults
+	}
 	if obs.Enabled(opts.Events) {
 		if in, ok := rec.(recommend.Instrumentable); ok {
 			in.SetEventSink(opts.Events)
@@ -215,6 +233,9 @@ func RunLive(sched *workload.LoadSchedule, rec recommend.Recommender, opts Harne
 	res.NumScalings = op.ResizeCount
 	res.Failovers = op.FailoverCount
 	res.DecisionsSuppressed = scaler.DecisionsSuppressed
+	res.RestartRetries = op.RestartRetries
+	res.ResizesAborted = op.ResizesAborted
+	res.FaultCounts = opts.Faults.Counts()
 	res.BilledCorePeriods = meter.BilledCorePeriods()
 	res.DecisionSeries = append([]float64(nil), scaler.DecisionSeries...)
 	if m := opts.Metrics; m != nil {

@@ -1,0 +1,394 @@
+// Package faults is the seeded, deterministic fault-injection layer of
+// the Kubernetes-like substrate. The paper's whole argument rests on
+// CaaSPER staying safe when the platform misbehaves — resizes take 5–15
+// minutes, restarts drop connections, and capped usage hides true demand
+// (§2.2, §3.3) — yet a fault-free control plane never exercises any of
+// those paths. This package makes the substrate misbehave *reproducibly*:
+// a fixed seed yields the same injected faults on every run, at any
+// worker count, because every draw is keyed on (seed, fault kind, pod,
+// simulated time) rather than on a shared sequential stream. Call order
+// therefore cannot perturb the outcome, which keeps the golden NDJSON
+// event-stream contract of internal/obs intact under chaos.
+//
+// Four fault kinds are modelled, selected with a small spec grammar
+// (comma-separated faults, colon-separated key=value parameters):
+//
+//	restart-fail:p=0.1              a pod restart attempt fails outright
+//	restart-stuck:p=0.05:dur=600    an attempt hangs dur extra seconds
+//	metrics-gap:p=0.02              a usage sample is dropped (scrape miss)
+//	sched-pressure:p=1:cores=4:dur=300
+//	                                transient co-tenant pressure steals
+//	                                cores of free capacity per node for
+//	                                dur-second windows
+//
+// With no spec the injector is nil and every hook compiles down to a
+// nil-receiver check — the fault-free path costs one branch and the
+// existing golden streams are unchanged.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"caasper/internal/obs"
+)
+
+// Kind names one injectable fault class.
+type Kind string
+
+// The injectable fault kinds.
+const (
+	// RestartFail makes a pod restart attempt fail at completion time.
+	RestartFail Kind = "restart-fail"
+	// RestartStuck extends a restart attempt by Dur seconds (a hung
+	// container that the operator's per-attempt timeout must catch).
+	RestartStuck Kind = "restart-stuck"
+	// MetricsGap drops a usage sample before the metrics server sees it
+	// (a scrape miss), producing partial or wholly silent buckets.
+	MetricsGap Kind = "metrics-gap"
+	// SchedPressure steals Cores of free capacity on every node during
+	// active Dur-second windows — Rodriguez & Buyya's "scheduling
+	// failures under node pressure are the common case" made concrete.
+	SchedPressure Kind = "sched-pressure"
+)
+
+// Fault is one parsed fault with its parameters.
+type Fault struct {
+	// Kind selects the fault class.
+	Kind Kind
+	// P is the per-draw probability in [0, 1].
+	P float64
+	// Dur is the fault duration in seconds (stuck time for
+	// restart-stuck, window length for sched-pressure). Layers whose
+	// native unit is minutes convert (internal/sim divides by 60).
+	Dur int64
+	// Cores is the per-node capacity stolen by sched-pressure.
+	Cores float64
+}
+
+// defaults returns the parameter defaults for a kind.
+func defaults(k Kind) (Fault, error) {
+	switch k {
+	case RestartFail:
+		return Fault{Kind: k, P: 0.1}, nil
+	case RestartStuck:
+		return Fault{Kind: k, P: 0.05, Dur: 600}, nil
+	case MetricsGap:
+		return Fault{Kind: k, P: 0.02}, nil
+	case SchedPressure:
+		return Fault{Kind: k, P: 1, Dur: 300, Cores: 4}, nil
+	default:
+		return Fault{}, fmt.Errorf("faults: unknown fault kind %q", k)
+	}
+}
+
+// Spec is a parsed fault specification: at most one fault per kind.
+type Spec struct {
+	faults map[Kind]Fault
+}
+
+// ParseSpec parses the -faults grammar. An empty string yields a nil
+// Spec (fault-free).
+func ParseSpec(s string) (*Spec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	spec := &Spec{faults: map[Kind]Fault{}}
+	for _, clause := range strings.Split(s, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		parts := strings.Split(clause, ":")
+		f, err := defaults(Kind(parts[0]))
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := spec.faults[f.Kind]; dup {
+			return nil, fmt.Errorf("faults: duplicate fault %q", f.Kind)
+		}
+		for _, kv := range parts[1:] {
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("faults: %s: parameter %q is not key=value", f.Kind, kv)
+			}
+			switch key {
+			case "p":
+				p, err := strconv.ParseFloat(val, 64)
+				if err != nil || p < 0 || p > 1 {
+					return nil, fmt.Errorf("faults: %s: p=%q is not a probability in [0,1]", f.Kind, val)
+				}
+				f.P = p
+			case "dur":
+				d, err := strconv.ParseInt(val, 10, 64)
+				if err != nil || d < 1 {
+					return nil, fmt.Errorf("faults: %s: dur=%q is not a positive second count", f.Kind, val)
+				}
+				f.Dur = d
+			case "cores":
+				c, err := strconv.ParseFloat(val, 64)
+				if err != nil || c <= 0 {
+					return nil, fmt.Errorf("faults: %s: cores=%q is not a positive core count", f.Kind, val)
+				}
+				f.Cores = c
+			default:
+				return nil, fmt.Errorf("faults: %s: unknown parameter %q", f.Kind, key)
+			}
+		}
+		spec.faults[f.Kind] = f
+	}
+	if len(spec.faults) == 0 {
+		return nil, errors.New("faults: empty spec")
+	}
+	return spec, nil
+}
+
+// Empty reports whether the spec injects nothing.
+func (s *Spec) Empty() bool { return s == nil || len(s.faults) == 0 }
+
+// Get returns the fault of the given kind and whether it is present.
+func (s *Spec) Get(k Kind) (Fault, bool) {
+	if s == nil {
+		return Fault{}, false
+	}
+	f, ok := s.faults[k]
+	return f, ok
+}
+
+// String renders the spec back in grammar form, kinds sorted, so logs
+// and run summaries are stable.
+func (s *Spec) String() string {
+	if s.Empty() {
+		return ""
+	}
+	kinds := make([]string, 0, len(s.faults))
+	for k := range s.faults {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	var b strings.Builder
+	for i, k := range kinds {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		f := s.faults[Kind(k)]
+		fmt.Fprintf(&b, "%s:p=%s", k, strconv.FormatFloat(f.P, 'g', -1, 64))
+		if f.Kind == RestartStuck || f.Kind == SchedPressure {
+			fmt.Fprintf(&b, ":dur=%d", f.Dur)
+		}
+		if f.Kind == SchedPressure {
+			fmt.Fprintf(&b, ":cores=%s", strconv.FormatFloat(f.Cores, 'g', -1, 64))
+		}
+	}
+	return b.String()
+}
+
+// Counts aggregates injected faults for end-of-run chaos summaries.
+type Counts struct {
+	// RestartFails, RestartStucks and MetricsGaps count injected faults.
+	RestartFails, RestartStucks, MetricsGaps int64
+	// PressureWindows counts activated sched-pressure windows.
+	PressureWindows int64
+}
+
+// Any reports whether any fault was injected.
+func (c Counts) Any() bool {
+	return c.RestartFails+c.RestartStucks+c.MetricsGaps+c.PressureWindows > 0
+}
+
+// Injector draws injected faults deterministically. The zero-cost
+// contract: a nil *Injector is valid and injects nothing, so callers hold
+// one pointer and the fault-free path is a single nil check per hook.
+//
+// Determinism contract (same as PR 2's golden NDJSON test): every draw
+// seeds a fresh stdlib math/rand PRNG from a mix of (seed, kind, pod,
+// simulated time), so a fixed seed yields a byte-identical fault stream
+// at any worker count and in any query order. The injector itself is
+// queried from the single-threaded control loop of one run; concurrent
+// runs each own their injector.
+type Injector struct {
+	spec *Spec
+	seed uint64
+
+	// Events, when non-nil and enabled, receives one "fault.*" event per
+	// injected fault, keyed on simulated seconds.
+	Events obs.Sink
+	// Stats, when non-nil, receives "fault.*" registry counters.
+	Stats *obs.Registry
+
+	counts Counts
+	// pressureWindow is the last sched-pressure window whose activation
+	// edge was emitted (-1 before any query).
+	pressureWindow int64
+}
+
+// New builds an injector for the spec. A nil or empty spec returns a nil
+// injector — the fault-free fast path.
+func New(spec *Spec, seed uint64) *Injector {
+	if spec.Empty() {
+		return nil
+	}
+	return &Injector{spec: spec, seed: seed, pressureWindow: -1}
+}
+
+// Seed returns the injector's seed (0 for nil).
+func (in *Injector) Seed() uint64 {
+	if in == nil {
+		return 0
+	}
+	return in.seed
+}
+
+// Spec returns the injector's parsed spec (nil for nil).
+func (in *Injector) Spec() *Spec {
+	if in == nil {
+		return nil
+	}
+	return in.spec
+}
+
+// Counts returns the injected-fault counts so far (zero for nil).
+func (in *Injector) Counts() Counts {
+	if in == nil {
+		return Counts{}
+	}
+	return in.counts
+}
+
+// kindSalt gives each fault kind an independent draw stream.
+func kindSalt(k Kind) uint64 {
+	switch k {
+	case RestartFail:
+		return 0x9E37_79B9_7F4A_7C15
+	case RestartStuck:
+		return 0xBF58_476D_1CE4_E5B9
+	case MetricsGap:
+		return 0x94D0_49BB_1331_11EB
+	case SchedPressure:
+		return 0xD6E8_FEB8_6659_FD93
+	default:
+		return 0xA5A5_A5A5_A5A5_A5A5
+	}
+}
+
+// draw returns a uniform [0,1) value for the (kind, pod, t) key. It
+// builds a fresh math/rand PRNG per draw so the value depends only on the
+// key, never on how many draws other layers made before this one.
+func (in *Injector) draw(k Kind, pod string, t int64) float64 {
+	h := in.seed ^ kindSalt(k)
+	for i := 0; i < len(pod); i++ {
+		h = (h ^ uint64(pod[i])) * 0x100000001B3 // FNV-1a fold
+	}
+	h ^= uint64(t) * 0xFF51_AFD7_ED55_8CCD
+	// splitmix64 finalizer: decorrelate adjacent seconds before the
+	// mix becomes a math/rand seed.
+	h ^= h >> 33
+	h *= 0xC4CE_B9FE_1A85_EC53
+	h ^= h >> 33
+	return rand.New(rand.NewSource(int64(h))).Float64()
+}
+
+// emit sends one fault event when the sink is enabled.
+func (in *Injector) emit(t int64, typ string, fields ...obs.Field) {
+	if obs.Enabled(in.Events) {
+		in.Events.Emit(obs.Event{T: t, Type: typ, Fields: fields})
+	}
+}
+
+// RestartFails reports whether the pod's restart attempt completing at
+// time now fails. Fires at most once per (pod, now) key; the operator
+// queries it exactly once per attempt completion.
+func (in *Injector) RestartFails(pod string, now int64) bool {
+	if in == nil {
+		return false
+	}
+	f, ok := in.spec.Get(RestartFail)
+	if !ok || in.draw(RestartFail, pod, now) >= f.P {
+		return false
+	}
+	in.counts.RestartFails++
+	in.Stats.Counter("fault.restart_fails").Inc()
+	in.emit(now, "fault.restart-fail", obs.S("pod", pod))
+	return true
+}
+
+// RestartStuck returns the extra seconds a restart attempt starting at
+// time now hangs for (0 when the attempt proceeds normally).
+func (in *Injector) RestartStuck(pod string, now int64) int64 {
+	if in == nil {
+		return 0
+	}
+	f, ok := in.spec.Get(RestartStuck)
+	if !ok || in.draw(RestartStuck, pod, now) >= f.P {
+		return 0
+	}
+	in.counts.RestartStucks++
+	in.Stats.Counter("fault.restart_stucks").Inc()
+	in.emit(now, "fault.restart-stuck", obs.S("pod", pod), obs.I("dur", f.Dur))
+	return f.Dur
+}
+
+// DropSample reports whether the pod's usage sample at time now is lost
+// before the metrics server records it.
+func (in *Injector) DropSample(pod string, now int64) bool {
+	if in == nil {
+		return false
+	}
+	f, ok := in.spec.Get(MetricsGap)
+	if !ok || in.draw(MetricsGap, pod, now) >= f.P {
+		return false
+	}
+	in.counts.MetricsGaps++
+	in.Stats.Counter("fault.metrics_gaps").Inc()
+	in.emit(now, "fault.metrics-gap", obs.S("pod", pod))
+	return true
+}
+
+// PressureCores returns the per-node capacity (cores) currently stolen
+// by transient scheduling pressure. Time is divided into Dur-second
+// windows; each window independently activates with probability P. The
+// activation edge of each active window emits one "fault.sched-pressure"
+// event — at the window boundary, not at the query time, so the stream
+// does not depend on when callers poll.
+func (in *Injector) PressureCores(now int64) float64 {
+	if in == nil {
+		return 0
+	}
+	f, ok := in.spec.Get(SchedPressure)
+	if !ok {
+		return 0
+	}
+	window := now / f.Dur
+	if in.draw(SchedPressure, "", window) >= f.P {
+		return 0
+	}
+	if window != in.pressureWindow {
+		in.pressureWindow = window
+		in.counts.PressureWindows++
+		in.Stats.Counter("fault.sched_pressure_windows").Inc()
+		in.emit(window*f.Dur, "fault.sched-pressure",
+			obs.F("cores", f.Cores), obs.I("until", (window+1)*f.Dur))
+	}
+	return f.Cores
+}
+
+// Summary renders the chaos section of an end-of-run report ("" for a
+// nil injector).
+func (in *Injector) Summary() string {
+	if in == nil {
+		return ""
+	}
+	c := in.counts
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos: spec=%s seed=%d\n", in.spec, in.seed)
+	fmt.Fprintf(&b, "  restart attempts failed:   %d\n", c.RestartFails)
+	fmt.Fprintf(&b, "  restart attempts stuck:    %d\n", c.RestartStucks)
+	fmt.Fprintf(&b, "  metric samples dropped:    %d\n", c.MetricsGaps)
+	fmt.Fprintf(&b, "  scheduling-pressure windows: %d\n", c.PressureWindows)
+	return b.String()
+}

@@ -36,7 +36,22 @@ func (n *Node) PodCount() int { return len(n.pods) }
 // Cluster is a set of nodes plus the scheduler.
 type Cluster struct {
 	nodes []*Node
+	// pressure is transient per-node capacity (cores) invisible to the
+	// scheduler's accounting but unavailable for placement — opaque
+	// co-tenant churn injected by the fault layer (faults.SchedPressure).
+	// It only affects Schedule: pods already bound keep their nodes, as
+	// on a real cluster where pressure blocks new placements but does
+	// not evict.
+	pressure float64
 }
+
+// SetPressure sets the transient per-node capacity pressure in cores
+// (0 clears it). The operator refreshes it each tick from its fault
+// injector; with no faults it stays 0 and scheduling is unchanged.
+func (c *Cluster) SetPressure(cores float64) { c.pressure = cores }
+
+// Pressure returns the current transient per-node pressure in cores.
+func (c *Cluster) Pressure() float64 { return c.pressure }
 
 // NewCluster builds a cluster from nodes. The paper's "small cluster" is
 // 6 VMs × 8 CPUs/32 GiB; the "large cluster" 6 VMs × 16 CPUs/56 GiB.
@@ -95,13 +110,15 @@ func (c *Cluster) Schedule(p *Pod) error {
 	}
 	candidates := make([]*Node, 0, len(c.nodes))
 	for _, n := range c.nodes {
-		if p.Spec.Requests.Fits(n.Free()) {
+		free := n.Free()
+		free.CPUCores -= c.pressure // transient fault-injected pressure
+		if p.Spec.Requests.Fits(free) {
 			candidates = append(candidates, n)
 		}
 	}
 	if len(candidates) == 0 {
-		return fmt.Errorf("k8s: no node fits pod %s (requests %.0fc/%.0fGiB)",
-			p.Name, p.Spec.Requests.CPUCores, p.Spec.Requests.MemoryGiB)
+		return fmt.Errorf("k8s: no node fits pod %s (requests %.0fc/%.0fGiB, pressure %.0fc)",
+			p.Name, p.Spec.Requests.CPUCores, p.Spec.Requests.MemoryGiB, c.pressure)
 	}
 	sort.Slice(candidates, func(i, j int) bool {
 		fi, fj := candidates[i].Free(), candidates[j].Free()

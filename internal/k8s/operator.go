@@ -5,7 +5,18 @@ import (
 	"fmt"
 	"sort"
 
+	"caasper/internal/faults"
 	"caasper/internal/obs"
+)
+
+// Restart-resilience defaults (see the matching Operator fields).
+const (
+	// defaultMaxRestartRetries is the retry budget per pod after its
+	// first failed attempt.
+	defaultMaxRestartRetries = 2
+	// defaultBackoffBaseSeconds is the first retry delay; later retries
+	// double it (30 s, 60 s, 120 s, …).
+	defaultBackoffBaseSeconds = 30
 )
 
 // Operator coordinates a stateful set's state transitions (paper Figure 1,
@@ -15,6 +26,15 @@ import (
 // and rescheduling the pod with its new resource spec.
 //
 // The operator is tick-driven: call Tick once per simulated second.
+//
+// Restarts are allowed to misbehave (the faults layer injects failed and
+// stuck attempts, and scheduling pressure): each pod restart is one
+// *attempt* with a patience budget (RestartAttemptTimeoutSeconds); an
+// attempt that fails, hangs past its budget, or cannot schedule retries
+// with exponential backoff up to MaxRestartRetries times, and when the
+// budget is exhausted the whole rolling update aborts into a consistent
+// whole-set spec — never a split one — after which the scaler resumes
+// deciding on the next tick.
 type Operator struct {
 	// Set is the managed stateful set.
 	Set *StatefulSet
@@ -34,6 +54,22 @@ type Operator struct {
 	// scale-up lag nor failed transactions occur".
 	InPlace bool
 
+	// Faults, when non-nil, injects failed restarts, stuck restarts and
+	// scheduling pressure (faults package). Nil is the fault-free fast
+	// path: every hook below reduces to one nil check.
+	Faults *faults.Injector
+	// MaxRestartRetries bounds retries per pod after its first failed
+	// attempt before the update aborts (0 selects the default, 2).
+	MaxRestartRetries int
+	// RestartAttemptTimeoutSeconds is the patience budget of a single
+	// restart attempt: an attempt still incomplete this long after it
+	// began (stuck container, scheduling stall) is declared failed and
+	// retried (0 selects the default, 2×RestartSeconds).
+	RestartAttemptTimeoutSeconds int64
+	// BackoffBaseSeconds is the first retry delay; retry n waits
+	// base·2^(n−1) before the next attempt (0 selects the default, 30 s).
+	BackoffBaseSeconds int64
+
 	// OnPodDown, OnPodUp and OnFailover, when non-nil, notify the
 	// application layer (the database simulator drops the pod's
 	// connections on restart, matching the paper's "user connections
@@ -46,25 +82,43 @@ type Operator struct {
 	FailoverCount int
 	// ResizeCount counts completed rolling updates.
 	ResizeCount int
+	// RestartRetries counts restart attempts that were retried after a
+	// failure, hang or scheduling stall.
+	RestartRetries int
+	// ResizesAborted counts rolling updates that gave up and rolled the
+	// set back to a consistent spec.
+	ResizesAborted int
 
 	// Events, when non-nil and enabled, receives the operator's
 	// structured lifecycle stream keyed on simulated seconds:
 	// "k8s.resize-requested" / "k8s.resize-rejected", "k8s.rolling-phase"
 	// per pod transition, "k8s.restart-disruption" per eviction,
-	// "k8s.failover" per hand-off and a "k8s.resize-completed" span event
-	// carrying the update's simulated duration.
+	// "k8s.restart-retry" per backed-off retry, "k8s.resize-aborted" on
+	// rollback, "k8s.failover" per hand-off and a "k8s.resize-completed"
+	// span event carrying the update's simulated duration.
 	Events obs.Sink
 	// Stats, when non-nil, receives runtime counters (pod restarts,
-	// failovers, completed resizes).
+	// failovers, completed resizes, retries, aborts).
 	Stats *obs.Registry
 
 	// rolling-update state
 	updating    bool
-	started     bool     // first restart of the update has begun
+	started     bool // first restart of the update has begun
 	targetCores int
+	fromCores   int      // limit before the update (rollback anchor)
 	resizeSpan  obs.Span // open resize interval, ends at completion
 	queue       []*Pod   // pods still to restart, in restart order
 	inFlight    *Pod     // pod currently restarting
+	// attempt counts restart attempts for the in-flight pod (1 = first);
+	// attemptDeadline is the tick at which the current attempt is
+	// declared failed.
+	attempt         int
+	attemptDeadline int64
+	// recovering is an aborted update's in-flight pod still being
+	// brought back up at the rolled-back spec. While it is non-nil the
+	// operator reports idle (the scaler decides again) but rejects new
+	// resizes.
+	recovering *Pod
 	// EffectiveAt records when the most recent resize became effective
 	// for the primary (users "experience" the new allocation).
 	EffectiveAt int64
@@ -84,6 +138,10 @@ func NewOperator(set *StatefulSet, cluster *Cluster, restartSeconds int64) (*Ope
 // Updating reports whether a rolling update is in flight.
 func (o *Operator) Updating() bool { return o.updating }
 
+// Recovering reports whether an aborted update's last pod is still being
+// brought back up.
+func (o *Operator) Recovering() bool { return o.recovering != nil }
+
 // TargetCores returns the in-flight resize target (0 when idle).
 func (o *Operator) TargetCores() int {
 	if !o.updating {
@@ -97,6 +155,24 @@ func (o *Operator) ResizeDuration() int64 {
 	return o.RestartSeconds * int64(len(o.Set.Pods))
 }
 
+// maxRestartAttempts returns the attempt budget per pod (first attempt
+// plus retries).
+func (o *Operator) maxRestartAttempts() int {
+	retries := o.MaxRestartRetries
+	if retries <= 0 {
+		retries = defaultMaxRestartRetries
+	}
+	return retries + 1
+}
+
+// attemptTimeout returns the per-attempt patience budget in seconds.
+func (o *Operator) attemptTimeout() int64 {
+	if o.RestartAttemptTimeoutSeconds > 0 {
+		return o.RestartAttemptTimeoutSeconds
+	}
+	return 2 * o.RestartSeconds
+}
+
 // emit sends one lifecycle event when the sink is enabled.
 func (o *Operator) emit(now int64, typ string, fields ...obs.Field) {
 	if obs.Enabled(o.Events) {
@@ -105,12 +181,16 @@ func (o *Operator) emit(now int64, typ string, fields ...obs.Field) {
 }
 
 // RequestResize begins a rolling update to the new whole-core limit. It
-// fails while another update is in flight (the scaler serializes on this)
-// or when the target equals the current limit.
+// fails while another update (or an abort recovery) is in flight — the
+// scaler serializes on this — or when the target equals the current limit.
 func (o *Operator) RequestResize(targetCores int, now int64) error {
 	if o.updating {
 		o.emit(now, "k8s.resize-rejected", obs.I("to", int64(targetCores)), obs.S("reason", "update in flight"))
 		return fmt.Errorf("k8s: resize to %d rejected: update to %d in flight", targetCores, o.targetCores)
+	}
+	if o.recovering != nil {
+		o.emit(now, "k8s.resize-rejected", obs.I("to", int64(targetCores)), obs.S("reason", "abort recovery in flight"))
+		return fmt.Errorf("k8s: resize to %d rejected: pod %s still recovering from an aborted update", targetCores, o.recovering.Name)
 	}
 	if targetCores < 1 {
 		o.emit(now, "k8s.resize-rejected", obs.I("to", int64(targetCores)), obs.S("reason", "invalid target"))
@@ -142,6 +222,7 @@ func (o *Operator) RequestResize(targetCores int, now int64) error {
 	o.updating = true
 	o.started = false
 	o.targetCores = targetCores
+	o.fromCores = from
 	o.emit(now, "k8s.resize-requested",
 		obs.I("from", int64(from)), obs.I("to", int64(targetCores)),
 		obs.S("mode", "rolling"), obs.I("pods", int64(len(o.Set.Pods))))
@@ -194,30 +275,70 @@ func (o *Operator) resizeInPlace(targetCores int) error {
 // call; with one call per simulated second this matches the serialized
 // per-pod flow.
 func (o *Operator) Tick(now int64) {
+	if o.Faults != nil {
+		o.Cluster.SetPressure(o.Faults.PressureCores(now))
+	}
+
+	// Post-abort recovery: the aborted update's in-flight pod still has
+	// to come back up (at the rolled-back spec) even though the update
+	// itself ended and the scaler is deciding again. Recovery ignores
+	// injected restart failures — it must terminate — but competes for
+	// capacity like any restart, so scheduling pressure still delays it.
+	if o.recovering != nil && now >= o.recovering.RestartingUntil {
+		p := o.recovering
+		if err := o.Cluster.Schedule(p); err == nil {
+			p.Phase = PhaseRunning
+			p.Restarts++
+			o.recovering = nil
+			o.Stats.Counter("k8s.pod_restarts").Inc()
+			o.emit(now, "k8s.rolling-phase",
+				obs.S("pod", p.Name), obs.S("phase", "recovered"), obs.I("restarts", int64(p.Restarts)))
+			if o.OnPodUp != nil {
+				o.OnPodUp(p)
+			}
+		} else {
+			o.Stats.Counter("k8s.sched_retries").Inc()
+		}
+	}
+
 	if !o.updating {
 		return
 	}
 
-	// Complete an in-flight restart.
-	if o.inFlight != nil && now >= o.inFlight.RestartingUntil {
+	// Complete — or give up on — an in-flight restart attempt.
+	if o.inFlight != nil {
 		p := o.inFlight
+		if now >= o.attemptDeadline {
+			// The attempt outlived its patience budget: a stuck
+			// container or a scheduling stall. Retry with backoff or
+			// abort the update.
+			o.retryOrAbort(now, p, "attempt timed out")
+			return
+		}
+		if now < p.RestartingUntil {
+			return // still restarting
+		}
+		if o.Faults.RestartFails(p.Name, now) {
+			o.retryOrAbort(now, p, "restart failed")
+			return
+		}
 		if err := o.Cluster.Schedule(p); err != nil {
-			// No capacity right now: retry next tick. Real operators
-			// back off; one-second retries are equivalent here.
+			// No capacity right now: retry next tick, bounded by the
+			// attempt deadline. Real operators back off; one-second
+			// retries are equivalent here.
+			o.Stats.Counter("k8s.sched_retries").Inc()
 			return
 		}
 		p.Phase = PhaseRunning
 		p.Restarts++
 		o.inFlight = nil
+		o.attempt = 0
 		o.Stats.Counter("k8s.pod_restarts").Inc()
 		o.emit(now, "k8s.rolling-phase",
 			obs.S("pod", p.Name), obs.S("phase", "running"), obs.I("restarts", int64(p.Restarts)))
 		if o.OnPodUp != nil {
 			o.OnPodUp(p)
 		}
-	}
-	if o.inFlight != nil {
-		return // still restarting
 	}
 
 	// Start the next restart, or finish the update.
@@ -263,9 +384,92 @@ func (o *Operator) Tick(now int64) {
 	p.Phase = PhaseRestarting
 	p.Spec = NewGuaranteedSpec(o.targetCores, o.Set.MemGiBPerPod)
 	p.RestartingUntil = now + o.RestartSeconds
+	if d := o.Faults.RestartStuck(p.Name, now); d > 0 {
+		p.RestartingUntil += d
+	}
+	o.attempt = 1
+	o.attemptDeadline = now + o.attemptTimeout()
 	o.inFlight = p
 	o.emit(now, "k8s.rolling-phase",
 		obs.S("pod", p.Name), obs.S("phase", "restarting"), obs.I("cores", int64(o.targetCores)))
+}
+
+// retryOrAbort handles a failed restart attempt for the in-flight pod:
+// relaunch it after an exponentially backed-off delay, or — once the
+// attempt budget is spent — abort the whole update.
+func (o *Operator) retryOrAbort(now int64, p *Pod, reason string) {
+	if o.attempt >= o.maxRestartAttempts() {
+		o.abortResize(now, reason)
+		return
+	}
+	base := o.BackoffBaseSeconds
+	if base <= 0 {
+		base = defaultBackoffBaseSeconds
+	}
+	delay := base << uint(o.attempt-1) // 1×, 2×, 4×, …
+	o.attempt++
+	o.RestartRetries++
+	o.Stats.Counter("k8s.restart_retries").Inc()
+	p.RestartingUntil = now + delay + o.RestartSeconds
+	// The fresh attempt can get stuck too (independent draw).
+	if d := o.Faults.RestartStuck(p.Name, now); d > 0 {
+		p.RestartingUntil += d
+	}
+	o.attemptDeadline = now + delay + o.attemptTimeout()
+	o.emit(now, "k8s.restart-retry",
+		obs.S("pod", p.Name), obs.S("reason", reason),
+		obs.I("attempt", int64(o.attempt)), obs.I("backoff", delay),
+		obs.I("until", p.RestartingUntil))
+}
+
+// abortResize gives up on the rolling update, leaving every pod on one
+// consistent spec — never a split set. The rollback direction is chosen
+// so that every patch is a *shrink*, which always fits: a scale-up abort
+// reverts the already-updated pods to the old limit; a scale-down abort
+// rolls the not-yet-updated pods forward to the new one. The in-flight
+// pod is relaunched at the final spec through the recovery path; until
+// it lands, new resizes are rejected (and audited) rather than queued.
+func (o *Operator) abortResize(now int64, reason string) {
+	final := o.fromCores
+	if o.targetCores < o.fromCores {
+		final = o.targetCores
+	}
+	spec := NewGuaranteedSpec(final, o.Set.MemGiBPerPod)
+	for _, p := range o.Set.Pods {
+		if p == o.inFlight || int(p.Spec.Requests.CPUCores) == final {
+			continue
+		}
+		// Shrink by construction; an error would mean the invariant
+		// broke, so surface it in the audit stream instead of splitting
+		// the set silently.
+		if err := o.Cluster.ResizeInPlace(p, spec); err != nil {
+			o.Stats.Counter("k8s.rollback_errors").Inc()
+			o.emit(now, "k8s.rolling-phase",
+				obs.S("pod", p.Name), obs.S("phase", "rollback-error"), obs.S("reason", err.Error()))
+			continue
+		}
+		o.emit(now, "k8s.rolling-phase",
+			obs.S("pod", p.Name), obs.S("phase", "rolled-back"), obs.I("cores", int64(final)))
+	}
+	if p := o.inFlight; p != nil {
+		// Kill the failed attempt and relaunch at the final spec; the
+		// recovery path (top of Tick) completes it outside the update.
+		p.Spec = spec
+		p.RestartingUntil = now + o.RestartSeconds
+		o.recovering = p
+	}
+	o.inFlight = nil
+	o.queue = nil
+	o.updating = false
+	o.started = false
+	o.attempt = 0
+	o.ResizesAborted++
+	o.Stats.Counter("k8s.resizes_aborted").Inc()
+	o.emit(now, "k8s.resize-aborted",
+		obs.I("from", int64(o.fromCores)), obs.I("to", int64(o.targetCores)),
+		obs.I("final", int64(final)), obs.S("reason", reason))
+	// Drop the open span: aborted updates must not emit resize-completed.
+	o.resizeSpan = obs.Span{}
 }
 
 // pickFailoverTarget chooses the running secondary with the lowest

@@ -2,6 +2,7 @@ package k8s
 
 import (
 	"errors"
+	"fmt"
 
 	"caasper/internal/obs"
 	"caasper/internal/recommend"
@@ -17,6 +18,11 @@ import (
 // *primary* replica's metrics: secondary replicas of a primary/secondary
 // database see an asymmetric workload, so set-wide averaging (what stock
 // VPA does for stateless replica sets) would dilute the signal.
+//
+// The scaler degrades gracefully rather than acting on bad input: when the
+// primary's metrics go stale (scrape loss, dead metrics pipeline) or the
+// recommender panics, it holds the last enacted limit and audits the held
+// tick instead of feeding garbage into a resize.
 type Scaler struct {
 	// Rec is the pluggable recommender.
 	Rec recommend.Recommender
@@ -31,9 +37,18 @@ type Scaler struct {
 	// to prevent autoscaling below 2 cores", §3.3; the max is bounded by
 	// node size and co-tenants, §6.2).
 	MinCores, MaxCores int
+	// StaleAfterSeconds holds decisions when the primary's newest
+	// accepted sample is older than this (0 selects the default,
+	// 3× the metrics interval; −1 disables the check).
+	StaleAfterSeconds int64
 
 	// ScalingsRequested counts accepted resize requests.
 	ScalingsRequested int
+	// ScalingsRejected counts resize requests the operator refused
+	// (update in flight between ticks, abort recovery, …). Rejections
+	// are audited with a "k8s.decision-rejected" event rather than
+	// silently swallowed.
+	ScalingsRejected int
 	// DecisionsSuppressed counts decision ticks that landed while a
 	// rolling update was in flight. Those ticks never enter
 	// DecisionSeries (the §5 t-test compares enactable decisions only),
@@ -41,17 +56,32 @@ type Scaler struct {
 	// "k8s.decision-suppressed" — so a mid-update decision is auditable
 	// instead of silently absent.
 	DecisionsSuppressed int
+	// DecisionsHeld counts decision ticks skipped in degraded mode
+	// (stale metrics, recommender panic); the current limit stays.
+	DecisionsHeld int
+	// RecommenderPanics counts recovered recommender panics.
+	RecommenderPanics int
 	// DecisionSeries records the clamped recommendation at every
 	// decision tick (holds included) for §5's simulator-vs-live t-test.
 	DecisionSeries []float64
 
-	// Events, when non-nil and enabled, receives "k8s.decision" and
-	// "k8s.decision-suppressed" events keyed on simulated seconds.
+	// Events, when non-nil and enabled, receives "k8s.decision",
+	// "k8s.decision-suppressed", "k8s.decision-held" and
+	// "k8s.decision-rejected" events keyed on simulated seconds.
 	Events obs.Sink
 	// Stats, when non-nil, receives decision counters.
 	Stats *obs.Registry
 
-	cursor       int // metric samples already fed to the recommender
+	// cursor tracks metric samples already fed to the recommender as a
+	// (pod, index) pair: bucket indices are only comparable within one
+	// pod's series, so a bare index silently mixes pod histories across
+	// a failover.
+	cursorPod string
+	cursor    int
+	// lastFed is the last *measured* sample fed to the recommender;
+	// silent buckets (restart gaps, total scrape loss) carry it forward
+	// instead of reporting a fake zero.
+	lastFed      float64
 	nextDecision int64
 }
 
@@ -77,6 +107,73 @@ func NewScaler(rec recommend.Recommender, op *Operator, ms *MetricsServer, decis
 	}, nil
 }
 
+// staleAfter returns the staleness threshold in seconds (0 = disabled).
+func (s *Scaler) staleAfter() int64 {
+	switch {
+	case s.StaleAfterSeconds < 0:
+		return 0
+	case s.StaleAfterSeconds > 0:
+		return s.StaleAfterSeconds
+	default:
+		return 3 * s.Metrics.IntervalSeconds
+	}
+}
+
+// recommend consults the recommender, recovering from panics. ok is false
+// when the recommender panicked; the caller holds the current limit.
+func (s *Scaler) recommend(now int64, current int) (target int, ok bool) {
+	target, ok = current, true
+	defer func() {
+		if r := recover(); r != nil {
+			ok = false
+			s.RecommenderPanics++
+			s.Stats.Counter("k8s.recommender_panics").Inc()
+			if obs.Enabled(s.Events) {
+				s.Events.Emit(obs.Event{T: now, Type: "k8s.recommender-panic", Fields: []obs.Field{
+					obs.S("panic", fmt.Sprint(r)),
+				}})
+			}
+		}
+	}()
+	target = s.Rec.Recommend(current)
+	return target, ok
+}
+
+// feed pushes the primary's newly closed metric samples into the
+// recommender. The cursor is a (pod, index) pair: after a failover it
+// resumes from the *new* primary's first post-failover bucket instead of
+// continuing a stale index into a different pod's history (the old
+// behavior mixed the two series, feeding the new primary's ancient
+// secondary-role samples as if they were fresh). Bucket indices are
+// global (now / interval), so the recommender's timeline stays aligned
+// across the switch.
+func (s *Scaler) feed(primary *Pod) {
+	series := s.Metrics.UsageSeries(primary.Name)
+	if primary.Name != s.cursorPod {
+		if s.cursorPod != "" {
+			// Failover: skip the new primary's pre-failover buckets —
+			// they measured its life as a secondary, an asymmetric
+			// workload the paper's adaptation deliberately excludes.
+			s.cursor = len(series)
+		}
+		s.cursorPod = primary.Name
+	}
+	for s.cursor < len(series) {
+		v := series[s.cursor]
+		if s.Metrics.IsSilent(primary.Name, s.cursor) {
+			// Restart gap or total scrape loss: no measurement exists.
+			// Carry the last real level forward; a literal zero would
+			// drag the recommendation down right after every resize.
+			v = s.lastFed
+			s.Stats.Counter("k8s.silent_samples").Inc()
+		} else {
+			s.lastFed = v
+		}
+		s.Rec.Observe(s.cursor, v)
+		s.cursor++
+	}
+}
+
 // Tick advances the scaler at time now (seconds). It pushes any newly
 // closed metric samples of the primary into the recommender and, at the
 // decision cadence, asks for and possibly enacts a recommendation.
@@ -85,14 +182,7 @@ func (s *Scaler) Tick(now int64) {
 	if primary == nil {
 		return
 	}
-	// Feed newly closed samples. The cursor survives failovers: the
-	// series switches to the new primary's history from its next sample
-	// on, mirroring how the live pipeline re-targets its metric query.
-	series := s.Metrics.UsageSeries(primary.Name)
-	for s.cursor < len(series) {
-		s.Rec.Observe(s.cursor, series[s.cursor])
-		s.cursor++
-	}
+	s.feed(primary)
 
 	if now < s.nextDecision {
 		return
@@ -111,7 +201,11 @@ func (s *Scaler) Tick(now int64) {
 		s.DecisionsSuppressed++
 		s.Stats.Counter("k8s.decisions_suppressed").Inc()
 		if obs.Enabled(s.Events) {
-			target := stats.ClampInt(s.Rec.Recommend(current), s.MinCores, s.MaxCores)
+			target, ok := s.recommend(now, current)
+			if !ok {
+				target = current
+			}
+			target = stats.ClampInt(target, s.MinCores, s.MaxCores)
 			s.Events.Emit(obs.Event{T: now, Type: "k8s.decision-suppressed", Fields: []obs.Field{
 				obs.I("current", int64(current)),
 				obs.I("target", int64(target)),
@@ -121,7 +215,43 @@ func (s *Scaler) Tick(now int64) {
 		}
 		return
 	}
-	target := stats.ClampInt(s.Rec.Recommend(current), s.MinCores, s.MaxCores)
+
+	// Degraded mode: stale metrics mean the recommender would decide on
+	// a frozen (or empty) picture. Hold the last enacted limit.
+	if stale := s.staleAfter(); stale > 0 {
+		if t, ok := s.Metrics.LastSampleAt(primary.Name); !ok || now-t > stale {
+			s.DecisionsHeld++
+			s.Stats.Counter("k8s.decisions_held").Inc()
+			if obs.Enabled(s.Events) {
+				age := int64(-1)
+				if ok {
+					age = now - t
+				}
+				s.Events.Emit(obs.Event{T: now, Type: "k8s.decision-held", Fields: []obs.Field{
+					obs.I("current", int64(current)),
+					obs.S("reason", "metrics stale"),
+					obs.I("age", age),
+				}})
+			}
+			return
+		}
+	}
+
+	target, ok := s.recommend(now, current)
+	if !ok {
+		// Degraded mode: the recommender blew up. Hold the last enacted
+		// limit and keep ticking — the next decision gets a fresh try.
+		s.DecisionsHeld++
+		s.Stats.Counter("k8s.decisions_held").Inc()
+		if obs.Enabled(s.Events) {
+			s.Events.Emit(obs.Event{T: now, Type: "k8s.decision-held", Fields: []obs.Field{
+				obs.I("current", int64(current)),
+				obs.S("reason", "recommender panic"),
+			}})
+		}
+		return
+	}
+	target = stats.ClampInt(target, s.MinCores, s.MaxCores)
 	s.DecisionSeries = append(s.DecisionSeries, float64(target))
 	s.Stats.Counter("k8s.decisions").Inc()
 	if obs.Enabled(s.Events) {
@@ -134,8 +264,21 @@ func (s *Scaler) Tick(now int64) {
 	if target == current {
 		return
 	}
-	if err := s.Operator.RequestResize(target, now); err == nil {
-		s.ScalingsRequested++
-		s.Stats.Counter("k8s.resizes_requested").Inc()
+	if err := s.Operator.RequestResize(target, now); err != nil {
+		// The operator refused (another update raced in, abort recovery
+		// in flight, …). Count it and leave an audit trail: a silently
+		// swallowed rejection looks identical to a hold in the stream.
+		s.ScalingsRejected++
+		s.Stats.Counter("k8s.resizes_rejected").Inc()
+		if obs.Enabled(s.Events) {
+			s.Events.Emit(obs.Event{T: now, Type: "k8s.decision-rejected", Fields: []obs.Field{
+				obs.I("current", int64(current)),
+				obs.I("target", int64(target)),
+				obs.S("reason", err.Error()),
+			}})
+		}
+		return
 	}
+	s.ScalingsRequested++
+	s.Stats.Counter("k8s.resizes_requested").Inc()
 }

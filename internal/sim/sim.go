@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"caasper/internal/billing"
+	"caasper/internal/faults"
 	"caasper/internal/obs"
 	"caasper/internal/recommend"
 	"caasper/internal/stats"
@@ -52,14 +53,26 @@ type Options struct {
 	// always one sequential replay — the parallelism is across runs, so
 	// results stay deterministic for every worker count.
 	Workers int
+	// Faults, when non-empty, injects deterministic failures into the
+	// replay (keyed on the fault seed and the simulated minute — every
+	// fault time in the spec is in *minutes* here, the simulator's tick):
+	// metrics-gap makes the recommender observe the previous minute's
+	// usage instead of the current one (a lost scrape; ground-truth
+	// accounting is unaffected), restart-stuck extends an in-flight
+	// resize, restart-fail makes an in-flight rolling update fail and
+	// roll back at enactment time ("sim.resize-aborted"), and
+	// sched-pressure transiently lowers the reachable core ceiling.
+	Faults *faults.Spec
+	// FaultSeed seeds the fault injector's deterministic draws.
+	FaultSeed uint64
 	// Events, when non-nil and enabled, receives the run's structured
 	// event stream: "sim.resize" per enacted resize, "sim.throttle" per
-	// throttled minute, "sim.slack" per decision tick, plus the
-	// recommender's "core.decision" audits when it implements
-	// recommend.Instrumentable. Every event is keyed on the simulated
-	// minute and emitted in replay order, so the stream is byte-identical
-	// across runs and worker counts (RunMatrix buffers per cell and
-	// replays in cell order to preserve this).
+	// throttled minute, "sim.slack" per decision tick, "fault.*" records
+	// from the injector, plus the recommender's "core.decision" audits
+	// when it implements recommend.Instrumentable. Every event is keyed
+	// on the simulated minute and emitted in replay order, so the stream
+	// is byte-identical across runs and worker counts (RunMatrix buffers
+	// per cell and replays in cell order to preserve this).
 	Events obs.Sink
 	// Metrics, when non-nil, receives end-of-run counters (decisions,
 	// resizes, throttled minutes). It is runtime telemetry, outside the
@@ -155,6 +168,12 @@ type Result struct {
 	// DecisionSeries is the recommended target at every decision tick
 	// (including holds) — the series the §5 t-test compares.
 	DecisionSeries []float64
+
+	// AbortedScalings counts resizes that failed at enactment (injected
+	// restart failures; 0 without faults).
+	AbortedScalings int
+	// FaultCounts tallies injected faults (zero without faults).
+	FaultCounts faults.Counts
 }
 
 // ThroughputProxy estimates the fraction of demanded work the allocation
@@ -262,6 +281,17 @@ func Run(tr *trace.Trace, rec recommend.Recommender, opts Options) (*Result, err
 		}
 	}
 
+	// The fault injector is built per run so its events land in this
+	// run's sink (RunMatrix gives each cell its own buffered sink) and
+	// its counts belong to this result. Nil without a spec: every hook
+	// below is then a nil-receiver no-op. The simulated "pod" is the
+	// primary, named like the live set's first replica.
+	inj := faults.New(opts.Faults, opts.FaultSeed)
+	if inj != nil {
+		inj.Events, inj.Stats = opts.Events, opts.Metrics
+	}
+	const simPod = "db-0"
+
 	var pendingExplanation string
 	enact := func(t int) {
 		if pendingTarget != limit {
@@ -277,7 +307,7 @@ func Run(tr *trace.Trace, rec recommend.Recommender, opts Options) (*Result, err
 				opts.Events.Emit(obs.Event{T: int64(t), Type: "sim.resize", Fields: []obs.Field{
 					obs.I("from", int64(limit)),
 					obs.I("to", int64(pendingTarget)),
-					obs.I("decided", int64(pendingAt - opts.ResizeDelayMinutes)),
+					obs.I("decided", int64(pendingAt-opts.ResizeDelayMinutes)),
 					obs.I("effective", int64(t)),
 				}})
 			}
@@ -291,11 +321,28 @@ func Run(tr *trace.Trace, rec recommend.Recommender, opts Options) (*Result, err
 	// per-tick "sim.slack" event; lastTick is the previous tick's minute.
 	var slackSinceTick float64
 	lastTick := 0
+	// lastObserved carries the previous minute's observation forward over
+	// injected metric gaps.
+	var lastObserved float64
 
 	for t := 0; t < n; t++ {
 		// Enact a completed resize before metering the minute.
 		if pendingTarget >= 0 && t >= pendingAt {
-			enact(t)
+			if inj.RestartFails(simPod, int64(t)) {
+				// The rolling update failed at enactment and rolled
+				// back: the limit stays, the decision is abandoned.
+				res.AbortedScalings++
+				if events {
+					opts.Events.Emit(obs.Event{T: int64(t), Type: "sim.resize-aborted", Fields: []obs.Field{
+						obs.I("from", int64(limit)),
+						obs.I("to", int64(pendingTarget)),
+					}})
+				}
+				pendingTarget, pendingAt = -1, -1
+				pendingExplanation = ""
+			} else {
+				enact(t)
+			}
 		}
 
 		demand := demandSeries[t] // == res.Demand[t], sanitised above
@@ -318,7 +365,16 @@ func Run(tr *trace.Trace, rec recommend.Recommender, opts Options) (*Result, err
 			}
 		}
 
-		rec.Observe(t, usage)
+		// The recommender sees the capped usage — unless the scrape for
+		// this minute was lost, in which case the pipeline reports the
+		// previous sample (ground-truth accounting above is unaffected).
+		observed := usage
+		if inj.DropSample(simPod, int64(t)) {
+			observed = lastObserved
+		} else {
+			lastObserved = usage
+		}
+		rec.Observe(t, observed)
 		meter.Record(capf)
 
 		// Decision tick: only when idle (no resize in flight).
@@ -332,10 +388,29 @@ func Run(tr *trace.Trace, rec recommend.Recommender, opts Options) (*Result, err
 			}
 			slackSinceTick, lastTick = 0, t
 			target := stats.ClampInt(rec.Recommend(limit), opts.MinCores, opts.MaxCores)
+			// Transient scheduling pressure lowers the reachable core
+			// ceiling: a scale-up beyond it would not place right now.
+			if pc := inj.PressureCores(int64(t)); pc > 0 {
+				ceiling := opts.MaxCores - int(pc)
+				if ceiling < opts.MinCores {
+					ceiling = opts.MinCores
+				}
+				if target > ceiling {
+					target = ceiling
+				}
+			}
 			res.DecisionSeries = append(res.DecisionSeries, float64(target))
 			if target != limit {
 				pendingTarget = target
 				pendingAt = t + opts.ResizeDelayMinutes
+				// A stuck restart stretches the rolling update: the new
+				// limit lands late (per-pod retries modeled in aggregate).
+				// Instant (in-place) resizes restart nothing to get stuck.
+				if opts.ResizeDelayMinutes > 0 {
+					if d := inj.RestartStuck(simPod, int64(t)); d > 0 {
+						pendingAt += int(d)
+					}
+				}
 				if ex, ok := rec.(recommend.Explainer); ok {
 					pendingExplanation = ex.Explain()
 				}
@@ -349,6 +424,7 @@ func Run(tr *trace.Trace, rec recommend.Recommender, opts Options) (*Result, err
 	}
 
 	meter.Flush()
+	res.FaultCounts = inj.Counts()
 	res.BilledCorePeriods = meter.BilledCorePeriods()
 	res.ThrottledPct = float64(res.ThrottledMinutes) / float64(n)
 	res.AvgSlack = res.SumSlack / float64(n)

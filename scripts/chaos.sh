@@ -1,0 +1,42 @@
+#!/bin/sh
+# Fixed-seed chaos matrix: run the trace-driven simulator (multi-worker)
+# and the live end-to-end loop under a deterministic fault spec, extract
+# the fault/k8s/sim event lines from the NDJSON streams, and diff them
+# against the checked-in goldens. Any drift in the fault injector's draw
+# discipline, the operator's retry/abort policy, or the scaler's
+# degradation path shows up here as a byte diff.
+#
+#   sh scripts/chaos.sh            # verify against testdata/chaos goldens
+#   UPDATE=1 sh scripts/chaos.sh   # regenerate the goldens
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=$(mktemp -d)
+trap 'rm -rf "$OUT"' EXIT
+
+echo "==> chaos sim matrix (caasper,vpa @ 4 workers, fault-seed 7)"
+go run ./cmd/caasper-sim -workload workday12h -recommender caasper,vpa -workers 4 \
+    -faults "restart-fail:p=0.2,restart-stuck:p=0.3:dur=25,metrics-gap:p=0.02,sched-pressure:cores=2" \
+    -fault-seed 7 -events "$OUT/sim.ndjson" >/dev/null
+grep -E '"type":"(fault|sim)\.' "$OUT/sim.ndjson" > "$OUT/sim-chaos.ndjson"
+
+echo "==> chaos live run (workday on Database A, fault-seed 7)"
+go run ./cmd/caasper-live -workload workday -recommender caasper \
+    -faults "restart-fail:p=0.1,restart-stuck:p=0.05:dur=600,metrics-gap:p=0.0005" \
+    -fault-seed 7 -events "$OUT/live.ndjson" >/dev/null
+grep -E '"type":"(fault|k8s)\.' "$OUT/live.ndjson" > "$OUT/live-chaos.ndjson"
+
+GOLD=testdata/chaos
+if [ "${UPDATE:-0}" = "1" ]; then
+    mkdir -p "$GOLD"
+    cp "$OUT/sim-chaos.ndjson" "$GOLD/sim-chaos.golden.ndjson"
+    cp "$OUT/live-chaos.ndjson" "$GOLD/live-chaos.golden.ndjson"
+    wc -l "$GOLD"/*.ndjson
+    echo "==> goldens regenerated in $GOLD/"
+    exit 0
+fi
+
+diff -u "$GOLD/sim-chaos.golden.ndjson" "$OUT/sim-chaos.ndjson"
+diff -u "$GOLD/live-chaos.golden.ndjson" "$OUT/live-chaos.ndjson"
+echo "==> OK: chaos event streams byte-identical to goldens"

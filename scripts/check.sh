@@ -15,6 +15,13 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# The chaos determinism contract gets a named gate of its own: the fault
+# injector, operator retry/abort lifecycle and scaler degradation paths
+# must stay deterministic and race-free at any worker count.
+echo "==> chaos determinism (fault injection under -race)"
+go test -race -run 'Chaos|Fault|Operator|ScalerCursor|ScalerCarries|ScalerHolds|ScalerRecovers' \
+    ./internal/faults/ ./internal/k8s/ ./internal/sim/
+
 echo "==> benchmark smoke (1x, hot paths + parallel engine)"
 go test -run xxx -bench 'BenchmarkDecide|BenchmarkBuildCurve|BenchmarkSimulateWorkday' -benchtime 1x -benchmem .
 go test -run xxx -bench 'BenchmarkRandomSearchParallel' -benchtime 1x -benchmem ./internal/tuning/
