@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-all check chaos
+.PHONY: build test race bench bench-all check chaos fleet apicheck
 
 build:
 	$(GO) build ./...
@@ -25,3 +25,13 @@ check:
 # Regenerate after an intentional behaviour change: UPDATE=1 make chaos
 chaos:
 	sh scripts/chaos.sh
+
+# 16-tenant fleet determinism golden: byte-identical event streams at
+# workers 1/4/8 under -race. Regenerate: UPDATE=1 make fleet
+fleet:
+	sh scripts/fleet.sh
+
+# Exported-API snapshot diffed against testdata/api.txt.
+# Regenerate after an intentional API change: UPDATE=1 make apicheck
+apicheck:
+	sh scripts/apicheck.sh

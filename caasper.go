@@ -39,11 +39,17 @@
 package caasper
 
 import (
+	"fmt"
+	"strings"
+
 	"caasper/internal/baselines"
 	"caasper/internal/core"
 	"caasper/internal/dbsim"
+	"caasper/internal/errs"
 	"caasper/internal/faults"
+	"caasper/internal/fleet"
 	"caasper/internal/forecast"
+	"caasper/internal/hooks"
 	"caasper/internal/k8s"
 	"caasper/internal/obs"
 	"caasper/internal/pvp"
@@ -52,6 +58,27 @@ import (
 	"caasper/internal/trace"
 	"caasper/internal/tuning"
 	"caasper/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Errors
+//
+// Every public constructor and Validate method classifies its failures by
+// wrapping one of these sentinels, so callers branch with errors.Is
+// instead of matching message strings:
+//
+//	if errors.Is(err, caasper.ErrBadWindow) { ... }
+var (
+	// ErrInvalidConfig marks configuration that violates an invariant
+	// (non-positive cores, inverted bounds, missing required fields).
+	ErrInvalidConfig = errs.ErrInvalidConfig
+	// ErrBadWindow marks invalid decision/observation window sizes.
+	ErrBadWindow = errs.ErrBadWindow
+	// ErrEmptyTrace marks empty or malformed trace input.
+	ErrEmptyTrace = errs.ErrEmptyTrace
+	// ErrUnknownRecommender marks a recommender name NewRecommenderByName
+	// does not recognise.
+	ErrUnknownRecommender = errs.ErrUnknownRecommender
 )
 
 // ---------------------------------------------------------------------------
@@ -225,6 +252,88 @@ func NewAutopilot(maxCores int) (Recommender, error) {
 }
 
 // ---------------------------------------------------------------------------
+// Named recommender construction
+
+// RecommenderSettings carries the shared knobs of the named recommender
+// constructors. Only MaxCores is required; every other field has the
+// paper's running default.
+type RecommenderSettings struct {
+	// MaxCores tops the SKU ladder (required, ≥ 1).
+	MaxCores int
+	// Window is the reactive decision window in samples (default 40, the
+	// paper's "last 40 minutes of CPU usage").
+	Window int
+	// Horizon is the proactive forecast horizon in samples (default 60).
+	Horizon int
+	// Season is the seasonal-naïve period in samples (default 1440, one
+	// day at minute resolution).
+	Season int
+	// ControlCores is the fixed allocation of the "control" policy
+	// (default: MaxCores).
+	ControlCores int
+	// Config overrides DefaultConfig(MaxCores) for the CaaSPER policies.
+	Config *Config
+}
+
+// RecommenderNames lists the names NewRecommenderByName accepts, sorted.
+func RecommenderNames() []string {
+	return []string{"autopilot", "caasper", "caasper-proactive", "control", "openshift", "vpa"}
+}
+
+// NewRecommenderByName builds a recommender from its CLI-facing name —
+// the one switch every command shares instead of each growing its own:
+//
+//	caasper             the reactive CaaSPER policy (Algorithm 1)
+//	caasper-proactive   the hybrid reactive+forecast policy (Eq. 4)
+//	vpa                 the default Kubernetes VPA baseline
+//	openshift           the OpenShift-style predictive VPA baseline
+//	autopilot           the Autopilot-style moving-maximum baseline
+//	control             fixed limits at ControlCores
+//
+// An unrecognised name wraps ErrUnknownRecommender.
+func NewRecommenderByName(name string, s RecommenderSettings) (Recommender, error) {
+	if s.MaxCores < 1 {
+		return nil, fmt.Errorf("caasper: MaxCores must be ≥ 1: %w", ErrInvalidConfig)
+	}
+	window := s.Window
+	if window == 0 {
+		window = 40
+	}
+	horizon := s.Horizon
+	if horizon == 0 {
+		horizon = 60
+	}
+	season := s.Season
+	if season == 0 {
+		season = 1440
+	}
+	control := s.ControlCores
+	if control == 0 {
+		control = s.MaxCores
+	}
+	cfg := DefaultConfig(s.MaxCores)
+	if s.Config != nil {
+		cfg = *s.Config
+	}
+	switch name {
+	case "caasper", "caasper-reactive":
+		return NewReactive(cfg, window)
+	case "caasper-proactive":
+		return NewProactive(cfg, NewSeasonalNaive(season), window, horizon, season)
+	case "vpa":
+		return NewKubernetesVPA(s.MaxCores)
+	case "openshift":
+		return NewOpenShiftVPA(s.MaxCores)
+	case "autopilot":
+		return NewAutopilot(s.MaxCores)
+	case "control":
+		return NewControl(control), nil
+	}
+	return nil, fmt.Errorf("caasper: %w %q (known: %s)",
+		ErrUnknownRecommender, name, strings.Join(RecommenderNames(), ", "))
+}
+
+// ---------------------------------------------------------------------------
 // Traces and workloads
 
 // Trace is a regularly sampled CPU usage series in cores.
@@ -348,6 +457,48 @@ func DatabaseB(initial, maxCores int) LiveOptions { return dbsim.DatabaseBOption
 func RunLive(sched *LoadSchedule, rec Recommender, opts LiveOptions) (*LiveResult, error) {
 	return dbsim.RunLive(sched, rec, opts)
 }
+
+// ---------------------------------------------------------------------------
+// Fleet controller
+
+// TenantSpec describes one tenant of a fleet run: its demand trace, its
+// recommender factory and its stateful-set shape.
+type TenantSpec = fleet.TenantSpec
+
+// FleetOptions configures a fleet run: the shared cluster, the horizon,
+// the decision cadence, the worker pool and — through the embedded
+// RunHooks — telemetry and fault injection.
+type FleetOptions = fleet.Options
+
+// FleetResult aggregates a fleet run: per-tenant K/C/N, cost and
+// arbitration losses plus the fleet-level totals.
+type FleetResult = fleet.Result
+
+// FleetTenantResult is one tenant's outcome within a FleetResult.
+type FleetTenantResult = fleet.TenantResult
+
+// DefaultFleetOptions returns the fleet defaults: 10-minute decisions,
+// hourly billing, shortest-trace horizon.
+func DefaultFleetOptions() FleetOptions { return fleet.DefaultOptions() }
+
+// RunFleet autoscales every tenant concurrently against one shared
+// cluster: a parallel observe/decide phase per tick, then a sequential
+// enact phase where the capacity arbiter grants contended scale-ups in
+// throttling-severity order and defers the rest. Results and the
+// "fleet.*" event stream are byte-identical at every worker count.
+func RunFleet(tenants []TenantSpec, opts FleetOptions) (*FleetResult, error) {
+	return fleet.Run(tenants, opts)
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+
+// RunHooks is the telemetry/fault knob set shared by SimOptions,
+// LiveOptions and FleetOptions: an event sink, a metrics registry and a
+// fault spec + seed, embedded in each options struct under one canonical
+// spelling. The older per-struct fields remain as deprecated aliases that
+// win when set.
+type RunHooks = hooks.RunHooks
 
 // FaultSpec is a parsed fault-injection specification (what to inject,
 // with which probabilities and durations).

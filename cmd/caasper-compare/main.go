@@ -18,8 +18,6 @@ import (
 	"time"
 
 	"caasper"
-	"caasper/internal/baselines"
-	"caasper/internal/core"
 	"caasper/internal/obs"
 	"caasper/internal/recommend"
 	"caasper/internal/sim"
@@ -104,40 +102,21 @@ func collectFactories(list string, traces []*trace.Trace, season int) ([]sim.Rec
 	maxCores := int(peak*1.5) + 2
 	controlCores := int(peak) + 1
 
+	settings := caasper.RecommenderSettings{
+		MaxCores:     maxCores,
+		Season:       season,
+		ControlCores: controlCores,
+	}
 	var out []sim.RecommenderFactory
 	for _, name := range splitList(list) {
 		name := name
-		var factory sim.RecommenderFactory
-		switch name {
-		case "control":
-			factory = sim.RecommenderFactory{Name: name, New: func() (recommend.Recommender, error) {
-				return baselines.NewControl(controlCores), nil
-			}}
-		case "caasper":
-			factory = sim.RecommenderFactory{Name: name, New: func() (recommend.Recommender, error) {
-				return recommend.NewCaaSPERReactive(core.DefaultConfig(maxCores), 40)
-			}}
-		case "caasper-proactive":
-			factory = sim.RecommenderFactory{Name: name, New: func() (recommend.Recommender, error) {
-				return recommend.NewCaaSPERProactive(core.DefaultConfig(maxCores),
-					caasper.NewSeasonalNaive(season), 40, 60, season)
-			}}
-		case "vpa":
-			factory = sim.RecommenderFactory{Name: name, New: func() (recommend.Recommender, error) {
-				return baselines.NewKubernetesVPA(baselines.DefaultKubernetesVPAOptions(maxCores))
-			}}
-		case "openshift":
-			factory = sim.RecommenderFactory{Name: name, New: func() (recommend.Recommender, error) {
-				return baselines.NewOpenShiftVPA(baselines.DefaultOpenShiftVPAOptions(maxCores))
-			}}
-		case "autopilot":
-			factory = sim.RecommenderFactory{Name: name, New: func() (recommend.Recommender, error) {
-				return baselines.NewAutopilot(baselines.DefaultAutopilotOptions(maxCores))
-			}}
-		default:
-			return nil, fmt.Errorf("unknown recommender %q", name)
+		// Validate eagerly so an unknown name fails before any cell runs.
+		if _, err := caasper.NewRecommenderByName(name, settings); err != nil {
+			return nil, err
 		}
-		out = append(out, factory)
+		out = append(out, sim.RecommenderFactory{Name: name, New: func() (recommend.Recommender, error) {
+			return caasper.NewRecommenderByName(name, settings)
+		}})
 	}
 	return out, nil
 }

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"caasper"
+	"caasper/internal/faults"
 	"caasper/internal/obs"
 )
 
@@ -114,8 +115,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	inj := caasper.NewFaultInjector(spec, *faultSeed)
-	opts.Faults = inj
+	opts.FaultSpec = spec
+	opts.FaultSeed = *faultSeed
 
 	fmt.Printf("running %s on Database %s with %s (%d replicas, %d..%d cores)...\n",
 		sched.Name, *database, rec.Name(), opts.Replicas, opts.MinCores, opts.MaxCores)
@@ -137,8 +138,8 @@ func main() {
 	fmt.Printf("sum slack:          %.1f core-minutes\n", res.SumSlack)
 	fmt.Printf("sum insufficient:   %.1f core-minutes\n", res.SumInsufficient)
 	fmt.Printf("billed core-hours:  %.0f\n", res.BilledCorePeriods)
-	if inj != nil {
-		fmt.Printf("\n%s", inj.Summary())
+	if !spec.Empty() {
+		fmt.Printf("\n%s", faults.Summarize(spec, *faultSeed, res.FaultCounts))
 		fmt.Printf("  restart retries:           %d\n", res.RestartRetries)
 		fmt.Printf("  resizes aborted:           %d\n", res.ResizesAborted)
 	}
@@ -166,23 +167,10 @@ func buildSchedule(name string, seed uint64) (*caasper.LoadSchedule, int, int, e
 }
 
 func buildRecommender(name string, maxCores, controlAt int) (caasper.Recommender, error) {
-	cfg := caasper.DefaultConfig(maxCores)
-	switch name {
-	case "caasper":
-		return caasper.NewReactive(cfg, 40)
-	case "caasper-proactive":
-		return caasper.NewProactive(cfg, caasper.NewSeasonalNaive(1440), 40, 60, 1440)
-	case "vpa":
-		return caasper.NewKubernetesVPA(maxCores)
-	case "openshift":
-		return caasper.NewOpenShiftVPA(maxCores)
-	case "autopilot":
-		return caasper.NewAutopilot(maxCores)
-	case "control":
-		return caasper.NewControl(controlAt), nil
-	default:
-		return nil, fmt.Errorf("unknown recommender %q", name)
-	}
+	return caasper.NewRecommenderByName(name, caasper.RecommenderSettings{
+		MaxCores:     maxCores,
+		ControlCores: controlAt,
+	})
 }
 
 func fatal(err error) {

@@ -207,23 +207,13 @@ func knownWorkloads() string {
 }
 
 func buildRecommender(name string, maxCores, controlAt, window, horizon, season int) (caasper.Recommender, error) {
-	cfg := caasper.DefaultConfig(maxCores)
-	switch name {
-	case "caasper":
-		return caasper.NewReactive(cfg, window)
-	case "caasper-proactive":
-		return caasper.NewProactive(cfg, caasper.NewSeasonalNaive(season), window, horizon, season)
-	case "vpa":
-		return caasper.NewKubernetesVPA(maxCores)
-	case "openshift":
-		return caasper.NewOpenShiftVPA(maxCores)
-	case "autopilot":
-		return caasper.NewAutopilot(maxCores)
-	case "control":
-		return caasper.NewControl(controlAt), nil
-	default:
-		return nil, fmt.Errorf("unknown recommender %q", name)
-	}
+	return caasper.NewRecommenderByName(name, caasper.RecommenderSettings{
+		MaxCores:     maxCores,
+		Window:       window,
+		Horizon:      horizon,
+		Season:       season,
+		ControlCores: controlAt,
+	})
 }
 
 // asciiChart renders demand (·) and limits (#) as a downsampled chart.

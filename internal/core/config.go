@@ -10,9 +10,9 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 
+	"caasper/internal/errs"
 	"caasper/internal/pvp"
 )
 
@@ -85,37 +85,38 @@ func DefaultConfig(maxCores int) Config {
 	}
 }
 
-// Validate checks configuration invariants.
+// Validate checks configuration invariants. Every failure wraps
+// errs.ErrInvalidConfig, so callers can branch with errors.Is.
 func (c Config) Validate() error {
 	if err := c.SKUs.Validate(); err != nil {
 		return err
 	}
 	if c.MinCores < 1 {
-		return errors.New("core: MinCores must be ≥ 1")
+		return fmt.Errorf("core: MinCores must be ≥ 1: %w", errs.ErrInvalidConfig)
 	}
 	if c.MinCores > c.SKUs.MaxCores {
-		return fmt.Errorf("core: MinCores %d exceeds MaxCores %d", c.MinCores, c.SKUs.MaxCores)
+		return fmt.Errorf("core: MinCores %d exceeds MaxCores %d: %w", c.MinCores, c.SKUs.MaxCores, errs.ErrInvalidConfig)
 	}
 	if c.SlopeHigh < c.SlopeLow {
-		return fmt.Errorf("core: SlopeHigh %v below SlopeLow %v", c.SlopeHigh, c.SlopeLow)
+		return fmt.Errorf("core: SlopeHigh %v below SlopeLow %v: %w", c.SlopeHigh, c.SlopeLow, errs.ErrInvalidConfig)
 	}
 	if c.SlackHigh < 0 || c.SlackHigh >= 1 {
-		return fmt.Errorf("core: SlackHigh %v out of [0,1)", c.SlackHigh)
+		return fmt.Errorf("core: SlackHigh %v out of [0,1): %w", c.SlackHigh, errs.ErrInvalidConfig)
 	}
 	if c.SlackLow < 0 || c.SlackLow >= 1 {
-		return fmt.Errorf("core: SlackLow %v out of [0,1)", c.SlackLow)
+		return fmt.Errorf("core: SlackLow %v out of [0,1): %w", c.SlackLow, errs.ErrInvalidConfig)
 	}
 	if c.MaxStepUp < 1 {
-		return errors.New("core: MaxStepUp must be ≥ 1")
+		return fmt.Errorf("core: MaxStepUp must be ≥ 1: %w", errs.ErrInvalidConfig)
 	}
 	if c.MaxStepDown < 1 {
-		return errors.New("core: MaxStepDown must be ≥ 1")
+		return fmt.Errorf("core: MaxStepDown must be ≥ 1: %w", errs.ErrInvalidConfig)
 	}
 	if c.QuantileP <= 0 || c.QuantileP > 1 {
-		return fmt.Errorf("core: QuantileP %v out of (0,1]", c.QuantileP)
+		return fmt.Errorf("core: QuantileP %v out of (0,1]: %w", c.QuantileP, errs.ErrInvalidConfig)
 	}
 	if c.WalkDownPerfTarget <= 0 || c.WalkDownPerfTarget > 1 {
-		return fmt.Errorf("core: WalkDownPerfTarget %v out of (0,1]", c.WalkDownPerfTarget)
+		return fmt.Errorf("core: WalkDownPerfTarget %v out of (0,1]: %w", c.WalkDownPerfTarget, errs.ErrInvalidConfig)
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"caasper/internal/errs"
 	"caasper/internal/forecast"
 )
 
@@ -50,13 +51,13 @@ func NewProactive(r *Recommender, f forecast.Forecaster, observedWindow, horizon
 		return nil, errors.New("core: nil reactive recommender")
 	}
 	if observedWindow < 1 {
-		return nil, fmt.Errorf("core: ObservedWindow %d must be ≥ 1", observedWindow)
+		return nil, fmt.Errorf("core: ObservedWindow %d must be ≥ 1: %w", observedWindow, errs.ErrBadWindow)
 	}
 	if horizon < 0 {
-		return nil, fmt.Errorf("core: Horizon %d must be ≥ 0", horizon)
+		return nil, fmt.Errorf("core: Horizon %d must be ≥ 0: %w", horizon, errs.ErrBadWindow)
 	}
 	if minHistory < 0 {
-		return nil, fmt.Errorf("core: MinHistory %d must be ≥ 0", minHistory)
+		return nil, fmt.Errorf("core: MinHistory %d must be ≥ 0: %w", minHistory, errs.ErrBadWindow)
 	}
 	return &Proactive{
 		Reactive:       r,

@@ -1,11 +1,13 @@
 package dbsim
 
 import (
-	"errors"
+	"fmt"
 	"time"
 
 	"caasper/internal/billing"
+	"caasper/internal/errs"
 	"caasper/internal/faults"
+	"caasper/internal/hooks"
 	"caasper/internal/k8s"
 	"caasper/internal/obs"
 	"caasper/internal/recommend"
@@ -15,6 +17,11 @@ import (
 // HarnessOptions configures an end-to-end live-system run: the cluster,
 // the stateful set, the autoscaling loop cadence and the billing model.
 type HarnessOptions struct {
+	// RunHooks is the canonical spelling of the telemetry/fault knobs
+	// shared with SimOptions and FleetOptions. The deprecated top-level
+	// fields below shadow it for source compatibility; a set deprecated
+	// field wins (see hooks.RunHooks.Merge).
+	hooks.RunHooks
 	// Cluster hosts the set; nil defaults to the paper's small cluster.
 	Cluster *k8s.Cluster
 	// Replicas is the stateful-set size (3 for Database A, 2 for
@@ -44,6 +51,9 @@ type HarnessOptions struct {
 	// stuck pod restarts (operator), scheduling pressure (cluster) and
 	// metric sample loss (metrics server). Nil runs fault-free with the
 	// hooks compiled down to nil checks.
+	//
+	// Deprecated: set RunHooks.FaultSpec (+ FaultSeed) instead and let the
+	// harness build the injector; a prebuilt injector set here wins.
 	Faults *faults.Injector
 	// Events, when non-nil and enabled, receives the structured event
 	// stream of the run: the scaler's decision/suppressed-decision
@@ -51,9 +61,22 @@ type HarnessOptions struct {
 	// the fault injector's "fault.*" records, and the recommender's
 	// decision audits (recommend.Instrumentable), all keyed on simulated
 	// seconds.
+	//
+	// Deprecated: set RunHooks.Events instead; this alias shadows it and
+	// wins when non-nil.
 	Events obs.Sink
 	// Metrics, when non-nil, receives the loop's runtime counters.
+	//
+	// Deprecated: set RunHooks.Metrics instead; this alias shadows it and
+	// wins when non-nil.
 	Metrics *obs.Registry
+}
+
+// Hooks resolves the effective telemetry/fault knobs: the deprecated
+// top-level aliases overlaid on the embedded RunHooks. The deprecated
+// prebuilt-injector field is resolved separately in RunLive.
+func (o HarnessOptions) Hooks() hooks.RunHooks {
+	return o.RunHooks.Merge(o.Events, o.Metrics, nil, 0)
 }
 
 // DatabaseAOptions returns the paper's Database A setup: 3 replicas with
@@ -139,10 +162,20 @@ func (r *LiveResult) SlackReductionVs(baseline *LiveResult) float64 {
 // on the set's limits. One tick is one second.
 func RunLive(sched *workload.LoadSchedule, rec recommend.Recommender, opts HarnessOptions) (*LiveResult, error) {
 	if sched == nil {
-		return nil, errors.New("dbsim: nil schedule")
+		return nil, fmt.Errorf("dbsim: nil schedule: %w", errs.ErrInvalidConfig)
 	}
 	if rec == nil {
-		return nil, errors.New("dbsim: nil recommender")
+		return nil, fmt.Errorf("dbsim: nil recommender: %w", errs.ErrInvalidConfig)
+	}
+	// Resolve the telemetry/fault knobs once: deprecated aliases overlay
+	// the embedded RunHooks. The deprecated Faults field carries a prebuilt
+	// injector and wins outright; otherwise one is built from the hooks'
+	// spec and seed (nil — the fault-free fast path — when the spec is
+	// empty).
+	h := opts.Hooks()
+	inj := opts.Faults
+	if inj == nil {
+		inj = h.Injector()
 	}
 	cluster := opts.Cluster
 	if cluster == nil {
@@ -162,16 +195,16 @@ func RunLive(sched *workload.LoadSchedule, rec recommend.Recommender, opts Harne
 	if err != nil {
 		return nil, err
 	}
-	op.Events, op.Stats = opts.Events, opts.Metrics
-	scaler.Events, scaler.Stats = opts.Events, opts.Metrics
-	if opts.Faults != nil {
-		opts.Faults.Events, opts.Faults.Stats = opts.Events, opts.Metrics
-		op.Faults = opts.Faults
-		ms.Faults = opts.Faults
+	op.Events, op.Stats = h.Events, h.Metrics
+	scaler.Events, scaler.Stats = h.Events, h.Metrics
+	if inj != nil {
+		inj.Events, inj.Stats = h.Events, h.Metrics
+		op.Faults = inj
+		ms.Faults = inj
 	}
-	if obs.Enabled(opts.Events) {
+	if obs.Enabled(h.Events) {
 		if in, ok := rec.(recommend.Instrumentable); ok {
-			in.SetEventSink(opts.Events)
+			in.SetEventSink(h.Events)
 		}
 	}
 	db, err := New(set, sched, opts.DB)
@@ -235,10 +268,10 @@ func RunLive(sched *workload.LoadSchedule, rec recommend.Recommender, opts Harne
 	res.DecisionsSuppressed = scaler.DecisionsSuppressed
 	res.RestartRetries = op.RestartRetries
 	res.ResizesAborted = op.ResizesAborted
-	res.FaultCounts = opts.Faults.Counts()
+	res.FaultCounts = inj.Counts()
 	res.BilledCorePeriods = meter.BilledCorePeriods()
 	res.DecisionSeries = append([]float64(nil), scaler.DecisionSeries...)
-	if m := opts.Metrics; m != nil {
+	if m := h.Metrics; m != nil {
 		m.Counter("live.seconds").Add(seconds)
 		m.Counter("live.resizes").Add(int64(op.ResizeCount))
 		m.Counter("live.failovers").Add(int64(op.FailoverCount))

@@ -1,0 +1,33 @@
+// Package errs defines the exported sentinel errors of the public caasper
+// API. Public constructors and option validators used to fail with ad-hoc
+// fmt.Errorf values that callers could only string-match; every validation
+// failure now wraps one of these sentinels, so callers branch with
+// errors.Is(err, caasper.ErrInvalidConfig) while the message keeps its
+// full contextual detail.
+//
+// The package sits below every other internal package (it imports only the
+// standard library) so that pvp, core, recommend, sim, dbsim, k8s and
+// fleet can all wrap the same values without import cycles.
+package errs
+
+import "errors"
+
+var (
+	// ErrInvalidConfig marks a configuration or option set that fails
+	// validation: core bounds out of order, non-positive cadences, empty
+	// SKU ladders, malformed fleet tenant specs, …
+	ErrInvalidConfig = errors.New("invalid configuration")
+
+	// ErrBadWindow marks an invalid decision/observation window shape:
+	// non-positive reactive windows, negative forecast horizons or
+	// warm-up lengths.
+	ErrBadWindow = errors.New("bad window")
+
+	// ErrEmptyTrace marks a missing, empty or wrongly-gridded input
+	// trace (the simulator and fleet require a one-minute grid).
+	ErrEmptyTrace = errors.New("empty or malformed trace")
+
+	// ErrUnknownRecommender marks a recommender name outside the
+	// NewRecommenderByName registry.
+	ErrUnknownRecommender = errors.New("unknown recommender")
+)

@@ -383,9 +383,18 @@ func (in *Injector) Summary() string {
 	if in == nil {
 		return ""
 	}
-	c := in.counts
+	return Summarize(in.spec, in.seed, in.counts)
+}
+
+// Summarize renders the chaos section of an end-of-run report from a
+// spec, seed and fault tally — for callers that only hold a result's
+// Counts rather than the injector itself ("" for an empty spec).
+func Summarize(spec *Spec, seed uint64, c Counts) string {
+	if spec.Empty() {
+		return ""
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "chaos: spec=%s seed=%d\n", in.spec, in.seed)
+	fmt.Fprintf(&b, "chaos: spec=%s seed=%d\n", spec, seed)
 	fmt.Fprintf(&b, "  restart attempts failed:   %d\n", c.RestartFails)
 	fmt.Fprintf(&b, "  restart attempts stuck:    %d\n", c.RestartStucks)
 	fmt.Fprintf(&b, "  metric samples dropped:    %d\n", c.MetricsGaps)

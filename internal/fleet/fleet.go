@@ -1,0 +1,586 @@
+// Package fleet implements the sharded multi-tenant fleet controller: N
+// independent tenants — each a stateful set, a recommender and a CPU
+// demand trace — autoscaled concurrently against ONE shared Kubernetes
+// cluster. It is the scale-out answer to the paper's closing observation
+// that a CaaS platform runs CaaSPER "for all customer databases on the
+// cluster", not one: per-tenant decision loops are embarrassingly
+// parallel, but the cluster's capacity is not, so simultaneous scale-ups
+// can oversubscribe a node. The controller therefore splits every tick in
+// two:
+//
+//  1. a parallel observe/decide phase fanned out over the tenant shards
+//     through internal/parallel (index-addressed slots, no shared writes),
+//     where each tenant scrapes its usage sample, feeds its recommender
+//     and files a resize proposal; and
+//  2. a sequential enact/arbitrate phase where scale-downs release
+//     capacity first and the capacity arbiter grants scale-ups in
+//     throttling-severity order (most-throttled first, tenant index as
+//     the deterministic tie-break), deferring any tenant whose grant
+//     would not fit the free capacity of its pods' nodes under the
+//     current scheduling pressure.
+//
+// Because phase 1 writes only tenant-local state and phase 2 runs in a
+// fixed order, results — and the "fleet.*" event stream — are
+// byte-identical at every worker count, the same determinism contract the
+// simulator's RunMatrix established. Fault injection composes: each
+// tenant owns an injector (draws are pod-keyed, so streams are
+// tenant-specific and order-independent), and a fleet-level injector
+// drives cluster-wide scheduling pressure from the sequential loop.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"caasper/internal/billing"
+	"caasper/internal/errs"
+	"caasper/internal/faults"
+	"caasper/internal/hooks"
+	"caasper/internal/k8s"
+	"caasper/internal/obs"
+	"caasper/internal/parallel"
+	"caasper/internal/recommend"
+	"caasper/internal/trace"
+)
+
+// TenantSpec describes one tenant of the fleet: its workload, its policy
+// and its stateful-set shape.
+type TenantSpec struct {
+	// Name identifies the tenant and prefixes its pod names; it must be
+	// unique within the fleet.
+	Name string
+	// Trace is the tenant's per-minute CPU demand series.
+	Trace *trace.Trace
+	// NewRecommender builds the tenant's fresh policy instance. A factory
+	// rather than an instance because recommenders are stateful and the
+	// fleet runs tenants concurrently.
+	NewRecommender func() (recommend.Recommender, error)
+	// InitialCores is the starting whole-core limit per pod.
+	InitialCores int
+	// MinCores / MaxCores are the tenant's safety clamps.
+	MinCores, MaxCores int
+	// Replicas is the stateful-set size (default 1).
+	Replicas int
+	// MemGiBPerPod sizes pod memory (scheduling only; not billed).
+	MemGiBPerPod float64
+}
+
+// Options configures a fleet run. The telemetry/fault knobs come from the
+// embedded hooks.RunHooks, the same canonical spelling SimOptions and
+// LiveOptions share.
+type Options struct {
+	hooks.RunHooks
+	// Cluster hosts every tenant's pods; nil defaults to the paper's
+	// large cluster (6 × 16 CPU / 56 GiB).
+	Cluster *k8s.Cluster
+	// Minutes bounds the run; 0 replays until the shortest trace ends.
+	Minutes int
+	// DecisionEveryMinutes is the per-tenant decision cadence (default 10).
+	DecisionEveryMinutes int
+	// WarmupMinutes delays each tenant's first decision (default:
+	// DecisionEveryMinutes), letting window-based recommenders accumulate
+	// signal.
+	WarmupMinutes int
+	// Workers bounds the parallel observe/decide fan-out; below 1 selects
+	// runtime.GOMAXPROCS(0). Results are byte-identical at every value.
+	Workers int
+	// BillingPeriod is the pay-as-you-go metering period (default 1h).
+	BillingPeriod time.Duration
+	// PricePerCorePeriod is the unit price (default 1: report ratios).
+	PricePerCorePeriod float64
+}
+
+// DefaultOptions returns the fleet defaults: 10-minute decisions, hourly
+// billing, unit price, shortest-trace horizon.
+func DefaultOptions() Options {
+	return Options{
+		DecisionEveryMinutes: 10,
+		BillingPeriod:        time.Hour,
+		PricePerCorePeriod:   1,
+	}
+}
+
+// Validate checks option invariants. Failures wrap errs.ErrInvalidConfig.
+func (o Options) Validate() error {
+	if o.DecisionEveryMinutes < 1 {
+		return fmt.Errorf("fleet: DecisionEveryMinutes must be ≥ 1: %w", errs.ErrInvalidConfig)
+	}
+	if o.Minutes < 0 {
+		return fmt.Errorf("fleet: Minutes must be ≥ 0: %w", errs.ErrInvalidConfig)
+	}
+	if o.BillingPeriod < 0 {
+		return fmt.Errorf("fleet: BillingPeriod must be ≥ 0: %w", errs.ErrInvalidConfig)
+	}
+	return nil
+}
+
+// TenantResult aggregates one tenant's run.
+type TenantResult struct {
+	// Name and Recommender identify the tenant.
+	Name        string
+	Recommender string
+	// InitialCores / FinalCores bracket the allocation trajectory.
+	InitialCores, FinalCores int
+	// SumSlack is K(·): Σ max(0, limit − usage) in core-minutes.
+	SumSlack float64
+	// SumInsufficient is C(·): Σ max(0, demand − limit) in core-minutes.
+	SumInsufficient float64
+	// NumScalings is N(·): the number of enacted resizes.
+	NumScalings int
+	// ThrottledMinutes counts minutes with any insufficient CPU.
+	ThrottledMinutes int
+	// Deferrals counts scale-up proposals the capacity arbiter rejected
+	// (the tenant's arbitration losses).
+	Deferrals int
+	// ResizesAborted counts enactments lost to injected restart failures.
+	ResizesAborted int
+	// BilledCorePeriods is the pay-as-you-go cost at unit price.
+	BilledCorePeriods float64
+	// FaultCounts tallies this tenant's injected faults.
+	FaultCounts faults.Counts
+}
+
+// Result aggregates a fleet run: per-tenant outcomes plus the
+// fleet-level aggregates and arbitration statistics.
+type Result struct {
+	// Minutes is the simulated horizon.
+	Minutes int
+	// Tenants holds one result per tenant, in input order.
+	Tenants []TenantResult
+	// TotalSlack / TotalInsufficient / TotalCost aggregate K, C and cost
+	// across tenants.
+	TotalSlack, TotalInsufficient, TotalCost float64
+	// TotalScalings / TotalDeferrals / TotalAborted aggregate N, the
+	// arbitration losses and the fault-aborted enactments.
+	TotalScalings, TotalDeferrals, TotalAborted int
+	// ArbitrationTicks counts ticks on which the arbiter had to defer at
+	// least one tenant (capacity contention actually bit).
+	ArbitrationTicks int
+	// PressureWindows counts fleet-level scheduling-pressure windows.
+	PressureWindows int64
+}
+
+// Summary renders the per-tenant comparison table plus the fleet
+// aggregate row.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-20s %10s %10s %5s %6s %6s %8s\n",
+		"tenant", "recommender", "K", "C", "N", "defer", "abort", "cost")
+	for _, t := range r.Tenants {
+		fmt.Fprintf(&b, "%-10s %-20s %10.0f %10.1f %5d %6d %6d %8.0f\n",
+			t.Name, t.Recommender, t.SumSlack, t.SumInsufficient,
+			t.NumScalings, t.Deferrals, t.ResizesAborted, t.BilledCorePeriods)
+	}
+	fmt.Fprintf(&b, "%-10s %-20s %10.0f %10.1f %5d %6d %6d %8.0f\n",
+		"TOTAL", fmt.Sprintf("(%d tenants)", len(r.Tenants)), r.TotalSlack,
+		r.TotalInsufficient, r.TotalScalings, r.TotalDeferrals,
+		r.TotalAborted, r.TotalCost)
+	fmt.Fprintf(&b, "arbitration: %d contended ticks, %d deferrals, %d pressure windows over %d minutes\n",
+		r.ArbitrationTicks, r.TotalDeferrals, r.PressureWindows, r.Minutes)
+	return b.String()
+}
+
+// proposal is one tenant's pending resize request for the current tick.
+type proposal struct {
+	target   int
+	severity float64 // accumulated insufficient core-minutes since the last decision
+}
+
+// tenant is the per-tenant runtime state. Phase 1 touches exactly one
+// tenant per goroutine; phase 2 walks them sequentially.
+type tenant struct {
+	spec  TenantSpec
+	rec   recommend.Recommender
+	set   *k8s.StatefulSet
+	meter *billing.Meter
+	inj   *faults.Injector
+	sink  *obs.MemorySink
+	res   TenantResult
+
+	prevUsage float64 // last minute's usage, replayed on a metrics-gap fault
+	severity  float64 // insufficiency accumulated since the last decision
+	prop      proposal
+	hasProp   bool
+}
+
+// primaryName returns the tenant's fault-draw key: its ordinal-0 pod.
+func (t *tenant) primaryName() string { return t.set.Pods[0].Name }
+
+// Run executes the fleet loop over the shared cluster and returns the
+// per-tenant and aggregate results. See the package comment for the
+// two-phase tick structure and the determinism argument.
+func Run(tenants []TenantSpec, opts Options) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("fleet: no tenants: %w", errs.ErrInvalidConfig)
+	}
+	h := opts.RunHooks
+	events := obs.Enabled(h.Events)
+
+	cluster := opts.Cluster
+	if cluster == nil {
+		cluster = k8s.LargeCluster()
+	}
+	period := opts.BillingPeriod
+	if period == 0 {
+		period = time.Hour
+	}
+	price := opts.PricePerCorePeriod
+	if price == 0 {
+		price = 1
+	}
+	warmup := opts.WarmupMinutes
+	if warmup == 0 {
+		warmup = opts.DecisionEveryMinutes
+	}
+
+	// Resolve the horizon: the shortest trace bounds the replay.
+	minutes := opts.Minutes
+	seen := make(map[string]bool, len(tenants))
+	for i, spec := range tenants {
+		if spec.Name == "" {
+			return nil, fmt.Errorf("fleet: tenant %d has no name: %w", i, errs.ErrInvalidConfig)
+		}
+		if seen[spec.Name] {
+			return nil, fmt.Errorf("fleet: duplicate tenant %q: %w", spec.Name, errs.ErrInvalidConfig)
+		}
+		seen[spec.Name] = true
+		if spec.Trace == nil || len(spec.Trace.Values) == 0 {
+			return nil, fmt.Errorf("fleet: tenant %q: %w", spec.Name, errs.ErrEmptyTrace)
+		}
+		if spec.Trace.Interval != time.Minute {
+			return nil, fmt.Errorf("fleet: tenant %q: trace interval %s is not 1m: %w",
+				spec.Name, spec.Trace.Interval, errs.ErrEmptyTrace)
+		}
+		if spec.NewRecommender == nil {
+			return nil, fmt.Errorf("fleet: tenant %q has no recommender factory: %w", spec.Name, errs.ErrInvalidConfig)
+		}
+		if spec.InitialCores < 1 || spec.MinCores < 1 || spec.MaxCores < spec.MinCores {
+			return nil, fmt.Errorf("fleet: tenant %q: bad core bounds: %w", spec.Name, errs.ErrInvalidConfig)
+		}
+		if minutes == 0 || len(spec.Trace.Values) < minutes {
+			minutes = len(spec.Trace.Values)
+		}
+	}
+
+	// Build the tenants: stateful sets scheduled onto the shared cluster
+	// in input order (first-come placement, like a real fleet onboarding
+	// sequence), per-tenant injectors (pod-keyed draws make each stream
+	// tenant-specific regardless of query order) and per-tenant event
+	// buffers replayed sequentially after the loop.
+	ts := make([]*tenant, len(tenants))
+	for i, spec := range tenants {
+		replicas := spec.Replicas
+		if replicas < 1 {
+			replicas = 1
+		}
+		rec, err := spec.NewRecommender()
+		if err != nil {
+			return nil, fmt.Errorf("fleet: building recommender for %q: %w", spec.Name, err)
+		}
+		set, err := k8s.NewStatefulSet(spec.Name, replicas, spec.InitialCores, spec.MemGiBPerPod, cluster)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: onboarding %q: %w", spec.Name, err)
+		}
+		meter, err := billing.NewMeter(price, period, time.Minute)
+		if err != nil {
+			return nil, err
+		}
+		t := &tenant{spec: spec, rec: rec, set: set, meter: meter}
+		t.inj = faults.New(h.FaultSpec, h.FaultSeed)
+		if t.inj != nil {
+			t.inj.Stats = h.Metrics
+			if events {
+				t.sink = obs.NewMemorySink()
+				t.inj.Events = t.sink
+			}
+		}
+		t.res = TenantResult{
+			Name:         spec.Name,
+			Recommender:  rec.Name(),
+			InitialCores: spec.InitialCores,
+		}
+		ts[i] = t
+	}
+
+	// The fleet-level injector drives cluster-wide scheduling pressure
+	// from the sequential loop; its events go straight to the shared sink.
+	finj := faults.New(h.FaultSpec, h.FaultSeed)
+	if finj != nil {
+		finj.Events, finj.Stats = h.Events, h.Metrics
+	}
+
+	if events {
+		h.Events.Emit(obs.Event{T: 0, Type: "fleet.run", Fields: []obs.Field{
+			obs.I("tenants", int64(len(ts))),
+			obs.I("minutes", int64(minutes)),
+			obs.I("nodes", int64(len(cluster.Nodes()))),
+			obs.I("decision_every", int64(opts.DecisionEveryMinutes)),
+		}})
+	}
+
+	res := &Result{Minutes: minutes, Tenants: make([]TenantResult, len(ts))}
+	ctx := context.Background()
+
+	for now := 0; now < minutes; now++ {
+		// Sequential tick prologue: refresh the cluster-wide scheduling
+		// pressure from the fleet-level injector.
+		pressure := 0.0
+		if finj != nil {
+			pressure = finj.PressureCores(int64(now))
+			cluster.SetPressure(pressure)
+		}
+
+		// Phase 1 — parallel observe/decide. Each task touches only its
+		// tenant's state and reads the cluster nothing mutates until
+		// phase 2, so any worker count produces identical proposals.
+		err := parallel.ForEach(ctx, len(ts), opts.Workers, func(i int) error {
+			t := ts[i]
+			limit := t.set.CPULimit()
+			demand := t.spec.Trace.Values[now]
+			usage := demand
+			if lim := float64(limit); usage > lim {
+				usage = lim
+			}
+
+			// Scrape: a metrics-gap fault loses this minute's sample, so
+			// the recommender observes the previous one — ground-truth
+			// accounting below is unaffected.
+			observed := usage
+			if t.inj.DropSample(t.primaryName(), int64(now)) {
+				observed = t.prevUsage
+			}
+			t.prevUsage = usage
+			t.rec.Observe(now, observed)
+
+			// Ground-truth accounting in core-minutes.
+			if slack := float64(limit) - usage; slack > 0 {
+				t.res.SumSlack += slack
+			}
+			if short := demand - float64(limit); short > 0 {
+				t.res.SumInsufficient += short
+				t.severity += short
+				t.res.ThrottledMinutes++
+			}
+			t.meter.Record(float64(limit))
+
+			// Decide: file a proposal for phase 2. The severity snapshot
+			// is the insufficiency accumulated since the last decision —
+			// the arbiter's priority signal.
+			t.hasProp = false
+			if now >= warmup && (now-warmup)%opts.DecisionEveryMinutes == 0 {
+				target := t.rec.Recommend(limit)
+				if target < t.spec.MinCores {
+					target = t.spec.MinCores
+				}
+				if target > t.spec.MaxCores {
+					target = t.spec.MaxCores
+				}
+				if target != limit {
+					t.prop = proposal{target: target, severity: t.severity}
+					t.hasProp = true
+				}
+				t.severity = 0
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// Phase 2 — sequential enact/arbitrate. Scale-downs first: they
+		// only release capacity, so they are always granted and make room
+		// for this tick's scale-ups (the arbiter sees the freed cores).
+		var ups []int
+		for i, t := range ts {
+			if !t.hasProp {
+				continue
+			}
+			if t.prop.target < t.set.CPULimit() {
+				enact(t, t.prop, cluster, h.Events, events, now)
+			} else {
+				ups = append(ups, i)
+			}
+		}
+
+		// Arbitration: grant scale-ups most-throttled-first; tenant index
+		// breaks ties deterministically. Each grant applies its in-place
+		// resizes immediately, so later feasibility checks see the
+		// already-reserved capacity.
+		if len(ups) > 0 {
+			sort.SliceStable(ups, func(a, b int) bool {
+				ta, tb := ts[ups[a]], ts[ups[b]]
+				if ta.prop.severity != tb.prop.severity {
+					return ta.prop.severity > tb.prop.severity
+				}
+				return ups[a] < ups[b]
+			})
+			granted, deferred := 0, 0
+			for _, i := range ups {
+				t := ts[i]
+				if node, short := infeasible(t, t.prop.target, cluster, pressure); node != "" {
+					t.res.Deferrals++
+					deferred++
+					if events {
+						h.Events.Emit(obs.Event{T: int64(now), Type: "fleet.deferred", Fields: []obs.Field{
+							obs.S("tenant", t.spec.Name),
+							obs.I("from", int64(t.set.CPULimit())),
+							obs.I("want", int64(t.prop.target)),
+							obs.F("severity", t.prop.severity),
+							obs.S("node", node),
+							obs.F("short_cores", short),
+						}})
+					}
+					continue
+				}
+				enact(t, t.prop, cluster, h.Events, events, now)
+				granted++
+			}
+			if deferred > 0 {
+				res.ArbitrationTicks++
+				if events {
+					h.Events.Emit(obs.Event{T: int64(now), Type: "fleet.arbitration", Fields: []obs.Field{
+						obs.I("contenders", int64(len(ups))),
+						obs.I("granted", int64(granted)),
+						obs.I("deferred", int64(deferred)),
+						obs.F("pressure", pressure),
+					}})
+				}
+			}
+		}
+	}
+
+	// Epilogue: close the books, emit the per-tenant summaries and replay
+	// each tenant's buffered fault stream, all in tenant order.
+	for i, t := range ts {
+		t.meter.Flush()
+		t.res.FinalCores = t.set.CPULimit()
+		t.res.BilledCorePeriods = t.meter.BilledCorePeriods()
+		t.res.FaultCounts = t.inj.Counts()
+		res.Tenants[i] = t.res
+
+		res.TotalSlack += t.res.SumSlack
+		res.TotalInsufficient += t.res.SumInsufficient
+		res.TotalCost += t.res.BilledCorePeriods
+		res.TotalScalings += t.res.NumScalings
+		res.TotalDeferrals += t.res.Deferrals
+		res.TotalAborted += t.res.ResizesAborted
+
+		if events {
+			h.Events.Emit(obs.Event{T: int64(minutes), Type: "fleet.tenant", Fields: []obs.Field{
+				obs.S("tenant", t.spec.Name),
+				obs.S("recommender", t.res.Recommender),
+				obs.F("slack", t.res.SumSlack),
+				obs.F("insufficient", t.res.SumInsufficient),
+				obs.I("scalings", int64(t.res.NumScalings)),
+				obs.I("deferrals", int64(t.res.Deferrals)),
+				obs.I("aborted", int64(t.res.ResizesAborted)),
+				obs.I("throttled_minutes", int64(t.res.ThrottledMinutes)),
+				obs.F("cost", t.res.BilledCorePeriods),
+			}})
+			if t.sink != nil {
+				t.sink.ReplayTo(h.Events)
+			}
+		}
+	}
+	res.PressureWindows = finj.Counts().PressureWindows
+
+	if m := h.Metrics; m != nil {
+		m.Counter("fleet.tenants").Add(int64(len(ts)))
+		m.Counter("fleet.minutes").Add(int64(minutes))
+		m.Counter("fleet.resizes").Add(int64(res.TotalScalings))
+		m.Counter("fleet.deferrals").Add(int64(res.TotalDeferrals))
+		m.Counter("fleet.resizes_aborted").Add(int64(res.TotalAborted))
+		m.Gauge("fleet.total_cost").Set(res.TotalCost)
+	}
+	return res, nil
+}
+
+// infeasible checks whether granting the tenant's scale-up would
+// oversubscribe any node hosting its pods: per node, the summed resize
+// deltas must fit the node's free capacity minus the transient scheduling
+// pressure (which the raw in-place resize path does not see — the arbiter
+// is the pressure-aware layer). It returns the first violating node's
+// name and the shortfall in cores, or "" when the grant fits.
+func infeasible(t *tenant, target int, cluster *k8s.Cluster, pressure float64) (string, float64) {
+	need := map[string]float64{}
+	var order []string
+	for _, p := range t.set.Pods {
+		delta := float64(target) - p.CPULimit()
+		if delta <= 0 || p.NodeName == "" {
+			continue
+		}
+		if _, ok := need[p.NodeName]; !ok {
+			order = append(order, p.NodeName)
+		}
+		need[p.NodeName] += delta
+	}
+	for _, name := range order {
+		n := cluster.NodeByName(name)
+		if n == nil {
+			return name, need[name]
+		}
+		free := n.Free().CPUCores - pressure
+		if need[name] > free {
+			return name, need[name] - free
+		}
+	}
+	return "", 0
+}
+
+// enact applies one granted proposal: every pod of the set is resized in
+// place to the target (all-or-nothing — an unexpected mid-apply rejection
+// rolls the already-resized pods back). An injected restart failure
+// aborts the enactment before any pod changes, modelling a failed apply.
+func enact(t *tenant, prop proposal, cluster *k8s.Cluster, sink obs.Sink, events bool, now int) {
+	from := t.set.CPULimit()
+	if t.inj.RestartFails(t.primaryName(), int64(now)) {
+		t.res.ResizesAborted++
+		if events {
+			sink.Emit(obs.Event{T: int64(now), Type: "fleet.resize-aborted", Fields: []obs.Field{
+				obs.S("tenant", t.spec.Name),
+				obs.I("from", int64(from)),
+				obs.I("to", int64(prop.target)),
+				obs.S("reason", "restart-fail"),
+			}})
+		}
+		return
+	}
+	done := make([]*k8s.Pod, 0, len(t.set.Pods))
+	for _, p := range t.set.Pods {
+		spec := k8s.NewGuaranteedSpec(prop.target, t.spec.MemGiBPerPod)
+		if err := cluster.ResizeInPlace(p, spec); err != nil {
+			// The arbiter pre-checked feasibility, so this is a genuine
+			// surprise (e.g. a racing co-tenant): roll back and treat it
+			// as an aborted enactment rather than leaving the set split.
+			for _, q := range done {
+				_ = cluster.ResizeInPlace(q, k8s.NewGuaranteedSpec(from, t.spec.MemGiBPerPod))
+			}
+			t.res.ResizesAborted++
+			if events {
+				sink.Emit(obs.Event{T: int64(now), Type: "fleet.resize-aborted", Fields: []obs.Field{
+					obs.S("tenant", t.spec.Name),
+					obs.I("from", int64(from)),
+					obs.I("to", int64(prop.target)),
+					obs.S("reason", "infeasible"),
+				}})
+			}
+			return
+		}
+		done = append(done, p)
+	}
+	t.res.NumScalings++
+	if events {
+		sink.Emit(obs.Event{T: int64(now), Type: "fleet.resize", Fields: []obs.Field{
+			obs.S("tenant", t.spec.Name),
+			obs.I("from", int64(from)),
+			obs.I("to", int64(prop.target)),
+			obs.F("severity", prop.severity),
+		}})
+	}
+}

@@ -1,0 +1,70 @@
+// Package hooks defines RunHooks, the telemetry-and-chaos knob set shared
+// by every run harness in the repository. The simulator (internal/sim),
+// the live loop (internal/dbsim) and the fleet controller (internal/fleet)
+// all accept the same three cross-cutting inputs — a structured event
+// sink, a runtime metrics registry and a deterministic fault injection
+// spec — but grew them independently with divergent field shapes (the live
+// harness took a prebuilt *faults.Injector, the simulator a *faults.Spec
+// plus a seed). RunHooks unifies them: one embedded struct, one canonical
+// spelling, one resolution rule.
+//
+// Migration contract: the pre-existing top-level fields on sim.Options and
+// dbsim.HarnessOptions remain as deprecated aliases. Each harness resolves
+// its effective hooks with Merge, where a set deprecated field wins over
+// the embedded one, so every existing caller builds and behaves
+// identically.
+package hooks
+
+import (
+	"caasper/internal/faults"
+	"caasper/internal/obs"
+)
+
+// RunHooks carries the cross-cutting run knobs shared by SimOptions,
+// LiveOptions and FleetOptions.
+type RunHooks struct {
+	// Events, when non-nil and enabled, receives the run's structured
+	// event stream, keyed on the harness's simulated-time unit and
+	// byte-identical across worker counts.
+	Events obs.Sink
+	// Metrics, when non-nil, receives runtime counters, gauges and
+	// latency histograms. Wall-clock telemetry, outside the determinism
+	// contract.
+	Metrics *obs.Registry
+	// FaultSpec, when non-empty, injects deterministic faults into the
+	// run (see internal/faults). Nil runs fault-free at nil-check cost.
+	FaultSpec *faults.Spec
+	// FaultSeed seeds the injector's deterministic draws: same seed,
+	// same faults, byte-for-byte, at any worker count.
+	FaultSeed uint64
+}
+
+// Merge overlays the deprecated alias fields onto the embedded hooks and
+// returns the effective set: any non-zero alias wins over the embedded
+// field it shadows. Harnesses call this once at run start.
+func (h RunHooks) Merge(events obs.Sink, metrics *obs.Registry, spec *faults.Spec, seed uint64) RunHooks {
+	if events != nil {
+		h.Events = events
+	}
+	if metrics != nil {
+		h.Metrics = metrics
+	}
+	if spec != nil {
+		h.FaultSpec = spec
+	}
+	if seed != 0 {
+		h.FaultSeed = seed
+	}
+	return h
+}
+
+// Injector builds the run's fault injector from the spec and seed (nil —
+// the zero-cost fault-free path — when the spec is empty). The injector's
+// Events/Stats are prewired to the hooks' sink and registry.
+func (h RunHooks) Injector() *faults.Injector {
+	inj := faults.New(h.FaultSpec, h.FaultSeed)
+	if inj != nil {
+		inj.Events, inj.Stats = h.Events, h.Metrics
+	}
+	return inj
+}

@@ -1,9 +1,10 @@
 package k8s
 
 import (
-	"errors"
 	"fmt"
 	"sort"
+
+	"caasper/internal/errs"
 )
 
 // Node is a cluster node (VM) with allocatable capacity.
@@ -57,7 +58,7 @@ func (c *Cluster) Pressure() float64 { return c.pressure }
 // 6 VMs × 8 CPUs/32 GiB; the "large cluster" 6 VMs × 16 CPUs/56 GiB.
 func NewCluster(nodes ...*Node) (*Cluster, error) {
 	if len(nodes) == 0 {
-		return nil, errors.New("k8s: cluster needs at least one node")
+		return nil, fmt.Errorf("k8s: cluster needs at least one node: %w", errs.ErrInvalidConfig)
 	}
 	seen := map[string]bool{}
 	for _, n := range nodes {
@@ -99,6 +100,18 @@ func LargeCluster() *Cluster {
 
 // Nodes returns the cluster's nodes.
 func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// NodeByName returns the named node, or nil when no such node exists. The
+// fleet arbiter uses it to check scale-up feasibility per hosting node
+// before granting simultaneous resize requests.
+func (c *Cluster) NodeByName(name string) *Node {
+	for _, n := range c.nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	return nil
+}
 
 // Schedule binds the pod to a node with enough free capacity for its
 // requests, using a least-allocated (spread) policy: among fitting nodes,

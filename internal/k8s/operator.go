@@ -1,10 +1,10 @@
 package k8s
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 
+	"caasper/internal/errs"
 	"caasper/internal/faults"
 	"caasper/internal/obs"
 )
@@ -127,10 +127,10 @@ type Operator struct {
 // NewOperator builds an operator.
 func NewOperator(set *StatefulSet, cluster *Cluster, restartSeconds int64) (*Operator, error) {
 	if set == nil || cluster == nil {
-		return nil, errors.New("k8s: operator needs a set and a cluster")
+		return nil, fmt.Errorf("k8s: operator needs a set and a cluster: %w", errs.ErrInvalidConfig)
 	}
 	if restartSeconds < 1 {
-		return nil, errors.New("k8s: restartSeconds must be ≥ 1")
+		return nil, fmt.Errorf("k8s: restartSeconds must be ≥ 1: %w", errs.ErrInvalidConfig)
 	}
 	return &Operator{Set: set, Cluster: cluster, RestartSeconds: restartSeconds}, nil
 }

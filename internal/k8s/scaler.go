@@ -1,9 +1,9 @@
 package k8s
 
 import (
-	"errors"
 	"fmt"
 
+	"caasper/internal/errs"
 	"caasper/internal/obs"
 	"caasper/internal/recommend"
 	"caasper/internal/stats"
@@ -88,13 +88,13 @@ type Scaler struct {
 // NewScaler wires the loop together.
 func NewScaler(rec recommend.Recommender, op *Operator, ms *MetricsServer, decisionEverySeconds int64, minCores, maxCores int) (*Scaler, error) {
 	if rec == nil || op == nil || ms == nil {
-		return nil, errors.New("k8s: scaler needs recommender, operator and metrics")
+		return nil, fmt.Errorf("k8s: scaler needs recommender, operator and metrics: %w", errs.ErrInvalidConfig)
 	}
 	if decisionEverySeconds < 1 {
-		return nil, errors.New("k8s: decision cadence must be ≥ 1s")
+		return nil, fmt.Errorf("k8s: decision cadence must be ≥ 1s: %w", errs.ErrInvalidConfig)
 	}
 	if minCores < 1 || maxCores < minCores {
-		return nil, errors.New("k8s: bad core bounds")
+		return nil, fmt.Errorf("k8s: bad core bounds: %w", errs.ErrInvalidConfig)
 	}
 	return &Scaler{
 		Rec:                  rec,

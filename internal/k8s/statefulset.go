@@ -1,8 +1,9 @@
 package k8s
 
 import (
-	"errors"
 	"fmt"
+
+	"caasper/internal/errs"
 )
 
 // StatefulSet is a replicated stateful application: one writable primary
@@ -22,10 +23,10 @@ type StatefulSet struct {
 // schedules every pod onto the cluster. Ordinal 0 starts as primary.
 func NewStatefulSet(name string, replicas, cpuCores int, memGiB float64, cluster *Cluster) (*StatefulSet, error) {
 	if replicas < 1 {
-		return nil, errors.New("k8s: replicas must be ≥ 1")
+		return nil, fmt.Errorf("k8s: replicas must be ≥ 1: %w", errs.ErrInvalidConfig)
 	}
 	if cpuCores < 1 {
-		return nil, errors.New("k8s: cpuCores must be ≥ 1")
+		return nil, fmt.Errorf("k8s: cpuCores must be ≥ 1: %w", errs.ErrInvalidConfig)
 	}
 	set := &StatefulSet{Name: name, MemGiBPerPod: memGiB}
 	for i := 0; i < replicas; i++ {

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 
+	"caasper/internal/errs"
 	"caasper/internal/stats"
 )
 
@@ -35,13 +36,13 @@ type SKURange struct {
 	PricePerCore float64
 }
 
-// Validate checks range invariants.
+// Validate checks range invariants. Failures wrap errs.ErrInvalidConfig.
 func (r SKURange) Validate() error {
 	if r.MinCores < 1 {
-		return errors.New("pvp: MinCores must be ≥ 1")
+		return fmt.Errorf("pvp: MinCores must be ≥ 1: %w", errs.ErrInvalidConfig)
 	}
 	if r.MaxCores < r.MinCores {
-		return errors.New("pvp: MaxCores must be ≥ MinCores")
+		return fmt.Errorf("pvp: MaxCores must be ≥ MinCores: %w", errs.ErrInvalidConfig)
 	}
 	return nil
 }

@@ -8,9 +8,10 @@
 package recommend
 
 import (
-	"errors"
+	"fmt"
 
 	"caasper/internal/core"
+	"caasper/internal/errs"
 	"caasper/internal/forecast"
 	"caasper/internal/obs"
 )
@@ -79,7 +80,7 @@ type CaaSPERReactive struct {
 // samples Algorithm 1 sees (40 in the paper's running configuration).
 func NewCaaSPERReactive(cfg core.Config, window int) (*CaaSPERReactive, error) {
 	if window < 1 {
-		return nil, errors.New("recommend: window must be ≥ 1")
+		return nil, fmt.Errorf("recommend: window %d must be ≥ 1: %w", window, errs.ErrBadWindow)
 	}
 	algo, err := core.New(cfg)
 	if err != nil {

@@ -2,11 +2,11 @@ package sim
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"strings"
 	"sync"
 
+	"caasper/internal/errs"
 	"caasper/internal/obs"
 	"caasper/internal/parallel"
 	"caasper/internal/recommend"
@@ -62,10 +62,10 @@ type cellKey struct{ traceName, recName string }
 // reported is the one from the earliest cell in that ordering.
 func RunMatrix(traces []*trace.Trace, factories []RecommenderFactory, opts Options) (*Matrix, error) {
 	if len(traces) == 0 {
-		return nil, errors.New("sim: no traces")
+		return nil, fmt.Errorf("sim: no traces: %w", errs.ErrEmptyTrace)
 	}
 	if len(factories) == 0 {
-		return nil, errors.New("sim: no recommender factories")
+		return nil, fmt.Errorf("sim: no recommender factories: %w", errs.ErrInvalidConfig)
 	}
 	// Derive per-trace options sequentially (a cheap peak scan) so the
 	// worker tasks are pure cell evaluations.
@@ -90,8 +90,11 @@ func RunMatrix(traces []*trace.Trace, factories []RecommenderFactory, opts Optio
 	// interleave on a shared sink, so each cell captures its stream into
 	// its own memory sink and the streams are replayed into the caller's
 	// sink sequentially, in cell order, after the pool drains. Each cell's
-	// replay is preceded by a "sim.run" header identifying it.
-	shared := opts.Events
+	// replay is preceded by a "sim.run" header identifying it. The sink is
+	// resolved through Hooks so the embedded RunHooks.Events spelling works
+	// too; the per-cell memory sink is installed via the deprecated outer
+	// field, which Merge lets win inside each cell's Run.
+	shared := opts.Hooks().Events
 	emitShared := obs.Enabled(shared)
 	var cellSinks []*obs.MemorySink
 	if emitShared {

@@ -14,13 +14,14 @@
 package sim
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"time"
 
 	"caasper/internal/billing"
+	"caasper/internal/errs"
 	"caasper/internal/faults"
+	"caasper/internal/hooks"
 	"caasper/internal/obs"
 	"caasper/internal/recommend"
 	"caasper/internal/stats"
@@ -29,6 +30,12 @@ import (
 
 // Options configures a simulation run.
 type Options struct {
+	// RunHooks is the canonical spelling of the telemetry/fault knobs
+	// shared with LiveOptions and FleetOptions (event sink, metrics
+	// registry, fault spec + seed). The deprecated top-level fields
+	// below shadow it for source compatibility; a set deprecated field
+	// wins (see hooks.RunHooks.Merge).
+	hooks.RunHooks
 	// InitialCores is the allocation at trace start.
 	InitialCores int
 	// MinCores / MaxCores are the scaler's safety clamps (Figure 1,
@@ -62,8 +69,14 @@ type Options struct {
 	// resize, restart-fail makes an in-flight rolling update fail and
 	// roll back at enactment time ("sim.resize-aborted"), and
 	// sched-pressure transiently lowers the reachable core ceiling.
+	//
+	// Deprecated: set RunHooks.FaultSpec instead; this alias shadows it
+	// and wins when non-nil.
 	Faults *faults.Spec
 	// FaultSeed seeds the fault injector's deterministic draws.
+	//
+	// Deprecated: set RunHooks.FaultSeed instead; this alias shadows it
+	// and wins when non-zero.
 	FaultSeed uint64
 	// Events, when non-nil and enabled, receives the run's structured
 	// event stream: "sim.resize" per enacted resize, "sim.throttle" per
@@ -73,11 +86,23 @@ type Options struct {
 	// on the simulated minute and emitted in replay order, so the stream
 	// is byte-identical across runs and worker counts (RunMatrix buffers
 	// per cell and replays in cell order to preserve this).
+	//
+	// Deprecated: set RunHooks.Events instead; this alias shadows it and
+	// wins when non-nil.
 	Events obs.Sink
 	// Metrics, when non-nil, receives end-of-run counters (decisions,
 	// resizes, throttled minutes). It is runtime telemetry, outside the
 	// determinism contract.
+	//
+	// Deprecated: set RunHooks.Metrics instead; this alias shadows it
+	// and wins when non-nil.
 	Metrics *obs.Registry
+}
+
+// Hooks resolves the effective telemetry/fault knobs: the deprecated
+// top-level aliases overlaid on the embedded RunHooks.
+func (o Options) Hooks() hooks.RunHooks {
+	return o.RunHooks.Merge(o.Events, o.Metrics, o.Faults, o.FaultSeed)
 }
 
 // DefaultOptions returns the configuration used across the experiments:
@@ -94,22 +119,23 @@ func DefaultOptions(initial, maxCores int) Options {
 	}
 }
 
-// Validate checks option invariants.
+// Validate checks option invariants. Every failure wraps
+// errs.ErrInvalidConfig, so callers can branch with errors.Is.
 func (o Options) Validate() error {
 	if o.InitialCores < 1 {
-		return errors.New("sim: InitialCores must be ≥ 1")
+		return fmt.Errorf("sim: InitialCores must be ≥ 1: %w", errs.ErrInvalidConfig)
 	}
 	if o.MinCores < 1 || o.MaxCores < o.MinCores {
-		return errors.New("sim: bad core bounds")
+		return fmt.Errorf("sim: bad core bounds [%d, %d]: %w", o.MinCores, o.MaxCores, errs.ErrInvalidConfig)
 	}
 	if o.DecisionEveryMinutes < 1 {
-		return errors.New("sim: DecisionEveryMinutes must be ≥ 1")
+		return fmt.Errorf("sim: DecisionEveryMinutes must be ≥ 1: %w", errs.ErrInvalidConfig)
 	}
 	if o.ResizeDelayMinutes < 0 {
-		return errors.New("sim: ResizeDelayMinutes must be ≥ 0")
+		return fmt.Errorf("sim: ResizeDelayMinutes must be ≥ 0: %w", errs.ErrInvalidConfig)
 	}
 	if o.BillingPeriod <= 0 {
-		return errors.New("sim: BillingPeriod must be positive")
+		return fmt.Errorf("sim: BillingPeriod must be positive: %w", errs.ErrInvalidConfig)
 	}
 	return nil
 }
@@ -223,11 +249,14 @@ func Run(tr *trace.Trace, rec recommend.Recommender, opts Options) (*Result, err
 		return nil, err
 	}
 	if tr == nil || tr.Len() == 0 {
-		return nil, errors.New("sim: empty trace")
+		return nil, fmt.Errorf("sim: empty trace: %w", errs.ErrEmptyTrace)
 	}
 	if tr.Interval != time.Minute {
-		return nil, fmt.Errorf("sim: trace interval %v, want 1m (resample first)", tr.Interval)
+		return nil, fmt.Errorf("sim: trace interval %v, want 1m (resample first): %w", tr.Interval, errs.ErrEmptyTrace)
 	}
+	// Resolve the telemetry/fault knobs once: deprecated aliases overlay
+	// the embedded RunHooks (hooks.RunHooks.Merge).
+	h := opts.Hooks()
 
 	meter, err := billing.NewMeter(opts.PricePerCorePeriod, opts.BillingPeriod, time.Minute)
 	if err != nil {
@@ -274,10 +303,10 @@ func Run(tr *trace.Trace, rec recommend.Recommender, opts Options) (*Result, err
 	// Event emission is guarded once: with the sink disabled (the
 	// default) the replay loop pays one branch per minute and allocates
 	// nothing for telemetry.
-	events := obs.Enabled(opts.Events)
+	events := obs.Enabled(h.Events)
 	if events {
 		if in, ok := rec.(recommend.Instrumentable); ok {
-			in.SetEventSink(opts.Events)
+			in.SetEventSink(h.Events)
 		}
 	}
 
@@ -286,10 +315,7 @@ func Run(tr *trace.Trace, rec recommend.Recommender, opts Options) (*Result, err
 	// its counts belong to this result. Nil without a spec: every hook
 	// below is then a nil-receiver no-op. The simulated "pod" is the
 	// primary, named like the live set's first replica.
-	inj := faults.New(opts.Faults, opts.FaultSeed)
-	if inj != nil {
-		inj.Events, inj.Stats = opts.Events, opts.Metrics
-	}
+	inj := h.Injector()
 	const simPod = "db-0"
 
 	var pendingExplanation string
@@ -304,7 +330,7 @@ func Run(tr *trace.Trace, rec recommend.Recommender, opts Options) (*Result, err
 			})
 			res.NumScalings++
 			if events {
-				opts.Events.Emit(obs.Event{T: int64(t), Type: "sim.resize", Fields: []obs.Field{
+				h.Events.Emit(obs.Event{T: int64(t), Type: "sim.resize", Fields: []obs.Field{
 					obs.I("from", int64(limit)),
 					obs.I("to", int64(pendingTarget)),
 					obs.I("decided", int64(pendingAt-opts.ResizeDelayMinutes)),
@@ -333,7 +359,7 @@ func Run(tr *trace.Trace, rec recommend.Recommender, opts Options) (*Result, err
 				// back: the limit stays, the decision is abandoned.
 				res.AbortedScalings++
 				if events {
-					opts.Events.Emit(obs.Event{T: int64(t), Type: "sim.resize-aborted", Fields: []obs.Field{
+					h.Events.Emit(obs.Event{T: int64(t), Type: "sim.resize-aborted", Fields: []obs.Field{
 						obs.I("from", int64(limit)),
 						obs.I("to", int64(pendingTarget)),
 					}})
@@ -357,7 +383,7 @@ func Run(tr *trace.Trace, rec recommend.Recommender, opts Options) (*Result, err
 			res.SumInsufficient += insuff
 			res.ThrottledMinutes++
 			if events {
-				opts.Events.Emit(obs.Event{T: int64(t), Type: "sim.throttle", Fields: []obs.Field{
+				h.Events.Emit(obs.Event{T: int64(t), Type: "sim.throttle", Fields: []obs.Field{
 					obs.F("demand", demand),
 					obs.F("limit", capf),
 					obs.F("insufficient", insuff),
@@ -380,7 +406,7 @@ func Run(tr *trace.Trace, rec recommend.Recommender, opts Options) (*Result, err
 		// Decision tick: only when idle (no resize in flight).
 		if t >= warmup && t%opts.DecisionEveryMinutes == 0 && pendingTarget < 0 {
 			if events {
-				opts.Events.Emit(obs.Event{T: int64(t), Type: "sim.slack", Fields: []obs.Field{
+				h.Events.Emit(obs.Event{T: int64(t), Type: "sim.slack", Fields: []obs.Field{
 					obs.F("limit", capf),
 					obs.F("slack", slackSinceTick),
 					obs.I("window", int64(t-lastTick)),
@@ -429,7 +455,7 @@ func Run(tr *trace.Trace, rec recommend.Recommender, opts Options) (*Result, err
 	res.ThrottledPct = float64(res.ThrottledMinutes) / float64(n)
 	res.AvgSlack = res.SumSlack / float64(n)
 	res.AvgInsufficient = res.SumInsufficient / float64(n)
-	if m := opts.Metrics; m != nil {
+	if m := h.Metrics; m != nil {
 		m.Counter("sim.runs").Inc()
 		m.Counter("sim.minutes").Add(int64(n))
 		m.Counter("sim.decisions").Add(int64(len(res.DecisionSeries)))

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Public-API drift gate: dump the exported symbols of the root caasper
+# package (scripts/apidump) and diff them against the checked-in
+# snapshot. A removed re-export or renamed constructor fails here as a
+# byte diff instead of surprising downstream callers.
+#
+#   sh scripts/apicheck.sh            # verify against testdata/api.txt
+#   UPDATE=1 sh scripts/apicheck.sh   # regenerate after an intentional change
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=$(mktemp)
+trap 'rm -f "$OUT"' EXIT
+
+go run ./scripts/apidump | LC_ALL=C sort > "$OUT"
+
+GOLD=testdata/api.txt
+if [ "${UPDATE:-0}" = "1" ]; then
+    cp "$OUT" "$GOLD"
+    wc -l "$GOLD"
+    echo "==> API snapshot regenerated in $GOLD"
+    exit 0
+fi
+
+diff -u "$GOLD" "$OUT"
+echo "==> OK: exported API matches $GOLD ($(wc -l < "$GOLD") symbols)"

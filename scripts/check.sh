@@ -22,6 +22,17 @@ echo "==> chaos determinism (fault injection under -race)"
 go test -race -run 'Chaos|Fault|Operator|ScalerCursor|ScalerCarries|ScalerHolds|ScalerRecovers' \
     ./internal/faults/ ./internal/k8s/ ./internal/sim/
 
+# Public-API drift gate: exported symbols of the root package must match
+# the checked-in snapshot (regenerate: UPDATE=1 sh scripts/apicheck.sh).
+echo "==> apicheck (exported API vs testdata/api.txt)"
+sh scripts/apicheck.sh
+
+# Fleet determinism golden: a 16-tenant chaos fleet must produce
+# byte-identical event streams at workers 1/4/8 under -race, matching
+# testdata/fleet/ (regenerate: UPDATE=1 sh scripts/fleet.sh).
+echo "==> fleet determinism golden"
+sh scripts/fleet.sh
+
 echo "==> benchmark smoke (1x, hot paths + parallel engine)"
 go test -run xxx -bench 'BenchmarkDecide|BenchmarkBuildCurve|BenchmarkSimulateWorkday' -benchtime 1x -benchmem .
 go test -run xxx -bench 'BenchmarkRandomSearchParallel' -benchtime 1x -benchmem ./internal/tuning/

@@ -1,0 +1,43 @@
+#!/bin/sh
+# Fleet determinism gate: run a 16-tenant chaos fleet on the small
+# (contended) cluster at worker counts 1, 4 and 8 — under the race
+# detector — and require the fleet/fault event streams to be
+# byte-identical to each other and to the checked-in golden. Any
+# scheduling nondeterminism in the parallel observe/decide phase, drift
+# in the arbiter's grant order, or a change to the fault injector's draw
+# discipline shows up here as a byte diff.
+#
+#   sh scripts/fleet.sh            # verify against testdata/fleet golden
+#   UPDATE=1 sh scripts/fleet.sh   # regenerate the golden
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=$(mktemp -d)
+trap 'rm -rf "$OUT"' EXIT
+
+FAULTS="restart-fail:p=0.2,metrics-gap:p=0.05,sched-pressure:p=0.5:dur=60:cores=4"
+
+for W in 1 4 8; do
+    echo "==> fleet chaos run (16 tenants, 240 min, small cluster, workers $W, -race)"
+    go run -race ./cmd/caasper-fleet -tenants 16 -minutes 240 -cluster small \
+        -workers "$W" -faults "$FAULTS" -fault-seed 7 \
+        -events "$OUT/fleet-w$W.ndjson" >/dev/null
+    grep -E '"type":"(fleet|fault)\.' "$OUT/fleet-w$W.ndjson" > "$OUT/fleet-w$W.events.ndjson"
+done
+
+cmp "$OUT/fleet-w1.events.ndjson" "$OUT/fleet-w4.events.ndjson"
+cmp "$OUT/fleet-w1.events.ndjson" "$OUT/fleet-w8.events.ndjson"
+echo "==> worker counts 1/4/8 byte-identical"
+
+GOLD=testdata/fleet
+if [ "${UPDATE:-0}" = "1" ]; then
+    mkdir -p "$GOLD"
+    cp "$OUT/fleet-w1.events.ndjson" "$GOLD/fleet-chaos.golden.ndjson"
+    wc -l "$GOLD/fleet-chaos.golden.ndjson"
+    echo "==> golden regenerated in $GOLD/"
+    exit 0
+fi
+
+diff -u "$GOLD/fleet-chaos.golden.ndjson" "$OUT/fleet-w1.events.ndjson"
+echo "==> OK: fleet event stream byte-identical to golden at every worker count"
