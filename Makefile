@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-all check chaos fleet apicheck
+.PHONY: build test race bench bench-all benchdiff check chaos fleet apicheck
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,13 @@ bench:
 
 bench-all:
 	$(GO) test -run xxx -bench . -benchmem .
+
+# Compare two benchmark captures; fails on >10% ns/op or any allocs/op
+# regression: make benchdiff OLD=BENCH_old.json NEW=BENCH_sim.json
+OLD ?= BENCH_old.json
+NEW ?= BENCH_sim.json
+benchdiff:
+	sh scripts/benchdiff $(OLD) $(NEW)
 
 # Full verification gate: vet + build + race tests + benchmark smoke.
 check:

@@ -13,10 +13,14 @@
 package caasper_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"caasper"
 	"caasper/internal/experiments"
+	"caasper/internal/k8s"
 )
 
 // ---------------------------------------------------------------------------
@@ -338,6 +342,113 @@ func BenchmarkAlibabaTraceSynthesis(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkRecommenderMonthTrace drives the reactive recommender's
+// observe/decide loop over a full simulated month (43 200 minutes, one
+// decision every 10) with no simulator around it — the recommender-only
+// cost of a fleet-month replay. With the ring-buffer window and the
+// sort-free decision path this loop is allocation-free at steady state
+// (see TestMonthReplaySteadyStateAllocs); allocs/op counts only the
+// per-op recommender construction.
+func BenchmarkRecommenderMonthTrace(b *testing.B) {
+	day := caasper.Workloads["workday12h"](1)
+	vals := day.Values
+	const monthMinutes = 43200
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := caasper.NewReactive(caasper.DefaultConfig(16), 40)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cur := 6
+		for m := 0; m < monthMinutes; m++ {
+			rec.Observe(m, vals[m%len(vals)])
+			if m%10 == 9 {
+				cur = rec.Recommend(cur)
+			}
+		}
+	}
+	b.ReportMetric(float64(43200*b.N)/b.Elapsed().Seconds(), "obs_minutes/s")
+}
+
+// benchFleetSpecs builds an n-tenant fleet over minutes-long demand traces
+// (eight workday-derived variants, shared read-only across tenants) plus a
+// cluster sized to host one 1-core pod per tenant with scale-up head-room.
+// The cluster is built per call: a fleet run binds pods to it.
+func benchFleetSpecs(b *testing.B, n, minutes int) ([]caasper.TenantSpec, caasper.FleetOptions) {
+	b.Helper()
+	const variants = 8
+	traces := make([]*caasper.Trace, variants)
+	for v := range traces {
+		day := caasper.Workloads["workday12h"](uint64(v + 1))
+		vals := make([]float64, minutes)
+		for i := range vals {
+			vals[i] = day.Values[i%len(day.Values)]
+		}
+		traces[v] = caasper.NewTrace(fmt.Sprintf("wk-%d", v), time.Minute, vals)
+	}
+	specs := make([]caasper.TenantSpec, n)
+	for i := range specs {
+		specs[i] = caasper.TenantSpec{
+			Name:  fmt.Sprintf("t%04d", i),
+			Trace: traces[i%variants],
+			NewRecommender: func() (caasper.Recommender, error) {
+				return caasper.NewReactive(caasper.DefaultConfig(4), 40)
+			},
+			InitialCores: 1,
+			MinCores:     1,
+			MaxCores:     4,
+			Replicas:     1,
+			MemGiBPerPod: 1,
+		}
+	}
+	nodes := make([]*k8s.Node, 32)
+	for i := range nodes {
+		nodes[i] = k8s.NewNode(fmt.Sprintf("bench-node-%02d", i), 64, 256)
+	}
+	cluster, err := k8s.NewCluster(nodes...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := caasper.DefaultFleetOptions()
+	opts.Cluster = cluster
+	opts.Minutes = minutes
+	return specs, opts
+}
+
+// BenchmarkFleetTick measures the fleet controller's steady tick cost at
+// 1000 tenants: one op replays a 1-hour horizon (60 000 tenant-minutes),
+// exercising the segment-batched observe phase and the sequential
+// arbitration phase.
+func BenchmarkFleetTick(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		specs, opts := benchFleetSpecs(b, 1000, 60)
+		if _, err := caasper.RunFleet(specs, opts); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(1000*60*(i+1))/b.Elapsed().Seconds(), "tenant_minutes/s")
+	}
+}
+
+// BenchmarkFleetWeek1k is the headline scale demonstration: 1000 tenants
+// replayed over one full week (10.08 M tenant-minutes per op). heap_sys_MB
+// reports the Go heap footprint after the run — with O(window) recommender
+// state it stays bounded by the traces and per-tenant fixtures, not the
+// replay length.
+func BenchmarkFleetWeek1k(b *testing.B) {
+	const minutes = 7 * 24 * 60
+	for i := 0; i < b.N; i++ {
+		specs, opts := benchFleetSpecs(b, 1000, minutes)
+		if _, err := caasper.RunFleet(specs, opts); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(1000*minutes*(i+1))/b.Elapsed().Seconds(), "tenant_minutes/s")
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	b.ReportMetric(float64(ms.Sys)/(1<<20), "heap_sys_MB")
 }
 
 func BenchmarkRandomSearch(b *testing.B) {

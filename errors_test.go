@@ -56,9 +56,14 @@ func TestSentinelEmptyTrace(t *testing.T) {
 	if _, err := Simulate(empty, rec, DefaultSimOptions(2, 8)); !errors.Is(err, ErrEmptyTrace) {
 		t.Errorf("Simulate(empty trace): got %v, want errors.Is(ErrEmptyTrace)", err)
 	}
+	// A wrong-interval trace is a configuration mistake, not missing data:
+	// it must wrap ErrInvalidConfig and NOT ErrEmptyTrace.
 	coarse := NewTrace("coarse", time.Hour, []float64{1, 2, 3})
-	if _, err := Simulate(coarse, rec, DefaultSimOptions(2, 8)); !errors.Is(err, ErrEmptyTrace) {
-		t.Errorf("Simulate(hourly trace): got %v, want errors.Is(ErrEmptyTrace)", err)
+	if _, err := Simulate(coarse, rec, DefaultSimOptions(2, 8)); !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("Simulate(hourly trace): got %v, want errors.Is(ErrInvalidConfig)", err)
+	}
+	if _, err := Simulate(coarse, rec, DefaultSimOptions(2, 8)); errors.Is(err, ErrEmptyTrace) {
+		t.Errorf("Simulate(hourly trace): wrapped ErrEmptyTrace, want ErrInvalidConfig only")
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"math"
 
 	"caasper/internal/stats"
+	"caasper/internal/window"
 )
 
 // Control is the fixed-limits reference policy.
@@ -165,8 +166,13 @@ func DefaultOpenShiftVPAOptions(maxCores int) OpenShiftVPAOptions {
 // low — the throttling spiral of §3.3 emerges from the policy itself, not
 // from any hard-coding here.
 type OpenShiftVPA struct {
-	opts    OpenShiftVPAOptions
-	history []float64
+	opts OpenShiftVPAOptions
+	// history retains only the lookback window the fit reads — O(window)
+	// memory over arbitrarily long replays.
+	history *window.Ring
+	// xs is the constant 0..Lookback-1 regressor vector, computed once:
+	// LinearFit always sees the same x-axis, only the y-window slides.
+	xs []float64
 }
 
 // NewOpenShiftVPA builds the baseline.
@@ -180,7 +186,11 @@ func NewOpenShiftVPA(opts OpenShiftVPAOptions) (*OpenShiftVPA, error) {
 	if opts.MinCores < 1 || opts.MaxCores < opts.MinCores {
 		return nil, errors.New("baselines: bad core bounds")
 	}
-	return &OpenShiftVPA{opts: opts}, nil
+	xs := make([]float64, opts.LookbackMinutes)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	return &OpenShiftVPA{opts: opts, history: window.New(opts.LookbackMinutes), xs: xs}, nil
 }
 
 // Name implements recommend.Recommender.
@@ -188,27 +198,21 @@ func (o *OpenShiftVPA) Name() string { return "openshift-vpa" }
 
 // Observe implements recommend.Recommender.
 func (o *OpenShiftVPA) Observe(_ int, usageCores float64) {
-	o.history = append(o.history, usageCores)
+	o.history.Push(usageCores)
 }
 
 // Recommend implements recommend.Recommender.
 func (o *OpenShiftVPA) Recommend(currentCores int) int {
-	n := len(o.history)
-	if n < 2 {
+	// The ring retains min(total, Lookback) samples — exactly the
+	// recent slice the unbounded history produced (Lookback ≥ 2, so the
+	// cold-start gate sees the same branch either way).
+	recent := o.history.View()
+	if len(recent) < 2 {
 		// Cold start: predict low (the §3.3 "initially the recommender
 		// component predicts low CPU utilization").
 		return o.opts.MinCores
 	}
-	look := o.opts.LookbackMinutes
-	if look > n {
-		look = n
-	}
-	recent := o.history[n-look:]
-	xs := make([]float64, len(recent))
-	for i := range xs {
-		xs[i] = float64(i)
-	}
-	a, b, err := stats.LinearFit(xs, recent)
+	a, b, err := stats.LinearFit(o.xs[:len(recent)], recent)
 	if err != nil {
 		return currentCores
 	}
@@ -226,7 +230,7 @@ func (o *OpenShiftVPA) Recommend(currentCores int) int {
 }
 
 // Reset implements recommend.Recommender.
-func (o *OpenShiftVPA) Reset() { o.history = o.history[:0] }
+func (o *OpenShiftVPA) Reset() { o.history.Reset() }
 
 // AutopilotOptions configures the moving-window-maximum baseline.
 type AutopilotOptions struct {
@@ -252,8 +256,9 @@ func DefaultAutopilotOptions(maxCores int) AutopilotOptions {
 // moving-max flavour of Google's Autopilot (paper §7) adapted to whole
 // cores.
 type Autopilot struct {
-	opts    AutopilotOptions
-	history []float64
+	opts AutopilotOptions
+	// history retains only the moving-max window — O(window) memory.
+	history *window.Ring
 }
 
 // NewAutopilot builds the baseline.
@@ -264,7 +269,7 @@ func NewAutopilot(opts AutopilotOptions) (*Autopilot, error) {
 	if opts.MinCores < 1 || opts.MaxCores < opts.MinCores {
 		return nil, errors.New("baselines: bad core bounds")
 	}
-	return &Autopilot{opts: opts}, nil
+	return &Autopilot{opts: opts, history: window.New(opts.WindowMinutes)}, nil
 }
 
 // Name implements recommend.Recommender.
@@ -272,23 +277,19 @@ func (a *Autopilot) Name() string { return "autopilot-max" }
 
 // Observe implements recommend.Recommender.
 func (a *Autopilot) Observe(_ int, usageCores float64) {
-	a.history = append(a.history, usageCores)
+	a.history.Push(usageCores)
 }
 
 // Recommend implements recommend.Recommender.
 func (a *Autopilot) Recommend(currentCores int) int {
-	n := len(a.history)
-	if n == 0 {
+	recent := a.history.View() // min(total, WindowMinutes) samples
+	if len(recent) == 0 {
 		return currentCores
 	}
-	w := a.opts.WindowMinutes
-	if w > n {
-		w = n
-	}
-	m := stats.Max(a.history[n-w:])
+	m := stats.Max(recent)
 	target := int(math.Ceil(m * (1 + a.opts.Margin)))
 	return stats.ClampInt(target, a.opts.MinCores, a.opts.MaxCores)
 }
 
 // Reset implements recommend.Recommender.
-func (a *Autopilot) Reset() { a.history = a.history[:0] }
+func (a *Autopilot) Reset() { a.history.Reset() }

@@ -2,9 +2,8 @@ package core
 
 import (
 	"errors"
-	"fmt"
 	"math"
-	"sort"
+	"strconv"
 
 	"caasper/internal/obs"
 	"caasper/internal/pvp"
@@ -123,12 +122,22 @@ type Scratch struct {
 	owner *Recommender
 	clean []float64
 	curve pvp.Curve
+	exp   []byte
 
 	memoValid bool
 	memoCores int
 	memoClean []float64
 	memoDec   Decision
 }
+
+// Explanation materialises the prose account of the scratch's most recent
+// successful decision ("" before the first one). DecideScratch builds the
+// explanation into a reusable byte buffer but defers the string
+// conversion — the one allocation the steady-state loop would otherwise
+// make per tick — to this accessor, which only interpretability surfaces
+// (Explainer.Explain, the one-shot Decide wrappers) call. The result is
+// only valid until the next decision on this scratch.
+func (s *Scratch) Explanation() string { return string(s.exp) }
 
 // emitDecision writes the per-evaluation audit event. Callers guard on
 // Sink being enabled so the disabled path costs one branch.
@@ -151,13 +160,20 @@ func (sc *Scratch) emitDecision(d Decision, memoHit bool) {
 // prefer DecideScratch, which avoids the per-call allocations.
 func (r *Recommender) Decide(currentCores int, usage []float64) (Decision, error) {
 	var s Scratch
-	return r.DecideScratch(&s, currentCores, usage)
+	d, err := r.DecideScratch(&s, currentCores, usage)
+	if err == nil {
+		d.Explanation = s.Explanation()
+	}
+	return d, err
 }
 
 // DecideScratch is Decide evaluated through a caller-owned Scratch. The
-// returned decision is bit-identical to Decide's for the same inputs; only
-// the allocation behaviour differs. A nil scratch is allowed (one is
-// created per call, degrading to Decide).
+// returned decision is bit-identical to Decide's for the same inputs with
+// one deliberate exception: Explanation is left empty and deferred to
+// Scratch.Explanation(), so the steady-state decision loop allocates
+// nothing at all (the prose lives in the scratch's reusable byte buffer
+// until something actually reads it — the simulator only does on the rare
+// enacted resize). A nil scratch is allowed (one is created per call).
 func (r *Recommender) DecideScratch(sc *Scratch, currentCores int, usage []float64) (Decision, error) {
 	if sc == nil {
 		sc = &Scratch{}
@@ -176,12 +192,14 @@ func (r *Recommender) DecideScratch(sc *Scratch, currentCores int, usage []float
 	if len(clean) == 0 {
 		return Decision{}, ErrNoUsage
 	}
-	sort.Float64s(clean)
 
-	// Identical sorted window + allocation ⇒ identical decision: Algorithm
-	// 1 is a pure function of (window multiset, current cores, config), so
-	// the PvP curve rebuild can be skipped outright when the window stats
-	// are unchanged since the previous tick.
+	// Identical raw window + allocation ⇒ identical decision: Algorithm 1
+	// is a pure function of (window, current cores, config), so the PvP
+	// curve rebuild can be skipped outright when the window is unchanged
+	// since the previous tick — common while usage sits flat or pinned at
+	// the cap. (Raw equality is stricter than the multiset equality the
+	// algorithm actually depends on; it trades a few extra misses for a
+	// sort-free hot path.)
 	if sc.memoValid && xc == sc.memoCores && equalFloats(clean, sc.memoClean) {
 		sc.MemoHits++
 		if obs.Enabled(sc.Sink) {
@@ -190,6 +208,11 @@ func (r *Recommender) DecideScratch(sc *Scratch, currentCores int, usage []float
 		return sc.memoDec, nil
 	}
 	sc.MemoMisses++
+	// Invalidate before touching memo state: an error return below must
+	// not leave a half-updated memo armed.
+	sc.memoValid = false
+	sc.memoClean = append(sc.memoClean[:0], clean...)
+	sc.memoCores = xc
 
 	// Line 3: build the PvP curve (the refactored SKU recommendation
 	// tool of §4.2, CPU-only), reusing the scratch storage.
@@ -203,11 +226,14 @@ func (r *Recommender) DecideScratch(sc *Scratch, currentCores int, usage []float
 	s := curve.SlopeAt(xc)
 	rawSF := pvp.ScalingFactor(s, skew, cfg.SF)
 
-	q, err := stats.QuantileSorted(clean, cfg.QuantileP)
+	// Quickselect in place (clean is partially reordered from here on;
+	// every later read — Max below — is order-independent). Bit-identical
+	// to sorting first and reading the R-7 quantile.
+	q, err := stats.QuantileInPlace(clean, cfg.QuantileP)
 	if err != nil {
 		return Decision{}, err
 	}
-	peak, _ := stats.QuantileSorted(clean, 1)
+	peak := stats.Max(clean)
 
 	d := Decision{
 		CurrentCores: xc,
@@ -238,9 +264,12 @@ func (r *Recommender) DecideScratch(sc *Scratch, currentCores int, usage []float
 		}
 		d.Branch = BranchScaleUp
 		d.TargetCores = r.guardrail(target)
-		d.Explanation = fmt.Sprintf(
-			"scale-up: slope %.2f (threshold %.2f), P%.0f usage %.2f of %d cores (buffer threshold %.2f); SF %.2f → +%d cores",
-			s, cfg.SlopeHigh, cfg.QuantileP*100, q, xc, (1-cfg.SlackHigh)*capf, rawSF, d.TargetCores-xc)
+		e := expBuilder{b: sc.exp[:0]}
+		e.str("scale-up: slope ").f2(s).str(" (threshold ").f2(cfg.SlopeHigh).
+			str("), P").f0(cfg.QuantileP * 100).str(" usage ").f2(q).
+			str(" of ").num(xc).str(" cores (buffer threshold ").f2((1 - cfg.SlackHigh) * capf).
+			str("); SF ").f2(rawSF).str(" → +").num(d.TargetCores - xc).str(" cores")
+		sc.exp = e.b
 
 	// Lines 10–13: scale down when the slope is flat or most capacity
 	// is idle; on a flat tail, walk the curve down in one move.
@@ -259,15 +288,18 @@ func (r *Recommender) DecideScratch(sc *Scratch, currentCores int, usage []float
 			}
 			d.Branch = BranchWalkDown
 			d.TargetCores = r.guardrail(target)
-			d.Explanation = fmt.Sprintf(
-				"walk-down: flat PvP tail at %d cores (peak usage %.2f); cheapest SKU meeting %.0f%% performance is %d cores",
-				xc, peak, cfg.WalkDownPerfTarget*100, d.TargetCores)
+			e := expBuilder{b: sc.exp[:0]}
 			if d.TargetCores >= xc {
 				d.Branch = BranchHold
 				d.TargetCores = xc
-				d.Explanation = fmt.Sprintf(
-					"hold: flat PvP tail at %d cores but no cheaper SKU clears the buffered peak %.2f", xc, peak)
+				e.str("hold: flat PvP tail at ").num(xc).
+					str(" cores but no cheaper SKU clears the buffered peak ").f2(peak)
+			} else {
+				e.str("walk-down: flat PvP tail at ").num(xc).str(" cores (peak usage ").f2(peak).
+					str("); cheapest SKU meeting ").f0(cfg.WalkDownPerfTarget * 100).
+					str("% performance is ").num(d.TargetCores).str(" cores")
 			}
+			sc.exp = e.b
 		} else {
 			step := r.roundSF(rawSF)
 			if step < 1 {
@@ -286,17 +318,20 @@ func (r *Recommender) DecideScratch(sc *Scratch, currentCores int, usage []float
 				target = xc
 			}
 			d.TargetCores = r.guardrail(target)
+			e := expBuilder{b: sc.exp[:0]}
 			if d.TargetCores < xc {
 				d.Branch = BranchScaleDown
-				d.Explanation = fmt.Sprintf(
-					"scale-down: slope %.2f ≤ %.2f or P%.0f usage %.2f ≤ %.2f (idle threshold); SF %.2f → -%d cores",
-					s, cfg.SlopeLow, cfg.QuantileP*100, q, cfg.SlackLow*capf, rawSF, xc-d.TargetCores)
+				e.str("scale-down: slope ").f2(s).str(" ≤ ").f2(cfg.SlopeLow).
+					str(" or P").f0(cfg.QuantileP * 100).str(" usage ").f2(q).
+					str(" ≤ ").f2(cfg.SlackLow * capf).str(" (idle threshold); SF ").f2(rawSF).
+					str(" → -").num(xc - d.TargetCores).str(" cores")
 			} else {
 				d.Branch = BranchHold
 				d.TargetCores = xc
-				d.Explanation = fmt.Sprintf(
-					"hold: down-trigger fired but buffered quantile %.2f forbids shrinking below %d cores", q, xc)
+				e.str("hold: down-trigger fired but buffered quantile ").f2(q).
+					str(" forbids shrinking below ").num(xc).str(" cores")
 			}
+			sc.exp = e.b
 		}
 
 	// Between thresholds: hold (the paper's R3 penalises needless
@@ -304,21 +339,49 @@ func (r *Recommender) DecideScratch(sc *Scratch, currentCores int, usage []float
 	default:
 		d.Branch = BranchHold
 		d.TargetCores = xc
-		d.Explanation = fmt.Sprintf(
-			"hold: slope %.2f within (%.2f, %.2f) and P%.0f usage %.2f within slack bands of %d cores",
-			s, cfg.SlopeLow, cfg.SlopeHigh, cfg.QuantileP*100, q, xc)
+		e := expBuilder{b: sc.exp[:0]}
+		e.str("hold: slope ").f2(s).str(" within (").f2(cfg.SlopeLow).str(", ").f2(cfg.SlopeHigh).
+			str(") and P").f0(cfg.QuantileP * 100).str(" usage ").f2(q).
+			str(" within slack bands of ").num(xc).str(" cores")
+		sc.exp = e.b
 	}
 
 	d.Delta = d.TargetCores - d.CurrentCores
 
-	sc.memoClean = append(sc.memoClean[:0], clean...)
-	sc.memoCores = xc
 	sc.memoDec = d
 	sc.memoValid = true
 	if obs.Enabled(sc.Sink) {
 		sc.emitDecision(d, false)
 	}
 	return d, nil
+}
+
+// expBuilder assembles a Decision explanation in Scratch's reusable byte
+// buffer. Its float verbs are byte-identical to fmt's %.2f / %.0f (both
+// bottom out in strconv's 'f' formatting, including the +Inf/NaN
+// spellings), so swapping fmt.Sprintf out of the hot path changed no
+// output; it only cut the ~6 interface-boxing allocations per formatted
+// decision down to the single final string conversion.
+type expBuilder struct{ b []byte }
+
+func (e *expBuilder) str(lit string) *expBuilder {
+	e.b = append(e.b, lit...)
+	return e
+}
+
+func (e *expBuilder) f2(v float64) *expBuilder {
+	e.b = strconv.AppendFloat(e.b, v, 'f', 2, 64)
+	return e
+}
+
+func (e *expBuilder) f0(v float64) *expBuilder {
+	e.b = strconv.AppendFloat(e.b, v, 'f', 0, 64)
+	return e
+}
+
+func (e *expBuilder) num(v int) *expBuilder {
+	e.b = strconv.AppendInt(e.b, int64(v), 10)
+	return e
 }
 
 // equalFloats reports element-wise equality (inputs are NaN-free: both

@@ -77,7 +77,15 @@ func NewProactive(r *Recommender, f forecast.Forecaster, observedWindow, horizon
 //
 // The returned bool reports whether the forecast contributed.
 func (p *Proactive) Decide(currentCores int, history []float64) (Decision, bool, error) {
-	return p.DecideScratch(nil, currentCores, history)
+	var s Scratch
+	d, used, err := p.DecideHistoryScratch(&s, currentCores, history, len(history))
+	if err == nil && d.Explanation == "" {
+		// The reactive fallback path defers the explanation to the
+		// scratch (see Recommender.DecideScratch); one-shot callers get
+		// it materialised.
+		d.Explanation = s.Explanation()
+	}
+	return d, used, err
 }
 
 // DecideScratch is Decide evaluated through a caller-owned Scratch (see
@@ -85,12 +93,23 @@ func (p *Proactive) Decide(currentCores int, history []float64) (Decision, bool,
 // every downstream evaluation buffer are reused across calls. A nil
 // scratch allocates fresh state per call.
 func (p *Proactive) DecideScratch(s *Scratch, currentCores int, history []float64) (Decision, bool, error) {
+	return p.DecideHistoryScratch(s, currentCores, history, len(history))
+}
+
+// DecideHistoryScratch is DecideScratch for callers that retain only a
+// bounded tail of the observed series (a window.Ring): history is the
+// retained tail and totalObserved the logical series length. The
+// MinHistory warm-up gates on totalObserved, so a ring-backed caller
+// activates proactive mode at exactly the same tick as an unbounded one.
+// The forecaster still sees only the retained tail — bounded callers are
+// responsible for sizing their ring to the forecaster's HistoryNeed.
+func (p *Proactive) DecideHistoryScratch(s *Scratch, currentCores int, history []float64, totalObserved int) (Decision, bool, error) {
 	if s == nil {
 		s = &Scratch{}
 	}
 	observed := tail(history, p.ObservedWindow)
 
-	if p.Forecaster == nil || p.Horizon == 0 || len(history) < p.MinHistory {
+	if p.Forecaster == nil || p.Horizon == 0 || totalObserved < p.MinHistory {
 		d, err := p.Reactive.DecideScratch(s, currentCores, observed)
 		return d, false, err
 	}
@@ -124,7 +143,11 @@ func (p *Proactive) DecideScratch(s *Scratch, currentCores int, history []float6
 	if err != nil {
 		return d, false, err
 	}
-	d.Explanation = fmt.Sprintf("proactive[%s,+%d]: %s", p.Forecaster.Name(), p.Horizon, d.Explanation)
+	// The inner decision's explanation is deferred in the scratch buffer
+	// (Recommender.DecideScratch); the proactive prefix materialises it.
+	// This path forecasts every tick — it allocates regardless — so the
+	// zero-alloc budget only ever applied to the reactive fallback.
+	d.Explanation = fmt.Sprintf("proactive[%s,+%d]: %s", p.Forecaster.Name(), p.Horizon, s.Explanation())
 	return d, true, nil
 }
 

@@ -23,8 +23,9 @@ var (
 	// warm-up lengths.
 	ErrBadWindow = errors.New("bad window")
 
-	// ErrEmptyTrace marks a missing, empty or wrongly-gridded input
-	// trace (the simulator and fleet require a one-minute grid).
+	// ErrEmptyTrace marks a missing or empty input trace. A trace on the
+	// wrong grid (the simulator and fleet require one-minute samples) is a
+	// configuration mistake and wraps ErrInvalidConfig instead.
 	ErrEmptyTrace = errors.New("empty or malformed trace")
 
 	// ErrUnknownRecommender marks a recommender name outside the

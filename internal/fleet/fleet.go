@@ -31,8 +31,8 @@ package fleet
 import (
 	"context"
 	"fmt"
-	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"caasper/internal/billing"
@@ -183,6 +183,11 @@ func (r *Result) Summary() string {
 	return b.String()
 }
 
+// sinkPool recycles the per-tenant fault-event buffers across fleet runs:
+// a chaos run over a large fleet otherwise allocates one sink — plus its
+// grown event slice — per tenant per run.
+var sinkPool = sync.Pool{New: func() any { return obs.NewMemorySink() }}
+
 // proposal is one tenant's pending resize request for the current tick.
 type proposal struct {
 	target   int
@@ -254,8 +259,11 @@ func Run(tenants []TenantSpec, opts Options) (*Result, error) {
 			return nil, fmt.Errorf("fleet: tenant %q: %w", spec.Name, errs.ErrEmptyTrace)
 		}
 		if spec.Trace.Interval != time.Minute {
-			return nil, fmt.Errorf("fleet: tenant %q: trace interval %s is not 1m: %w",
-				spec.Name, spec.Trace.Interval, errs.ErrEmptyTrace)
+			// A mis-configured interval is a config error, not a missing
+			// trace: callers matching ErrEmptyTrace to skip absent tenants
+			// must not silently swallow a resample mistake.
+			return nil, fmt.Errorf("fleet: tenant %q: trace interval %s is not 1m (resample first): %w",
+				spec.Name, spec.Trace.Interval, errs.ErrInvalidConfig)
 		}
 		if spec.NewRecommender == nil {
 			return nil, fmt.Errorf("fleet: tenant %q has no recommender factory: %w", spec.Name, errs.ErrInvalidConfig)
@@ -296,7 +304,8 @@ func Run(tenants []TenantSpec, opts Options) (*Result, error) {
 		if t.inj != nil {
 			t.inj.Stats = h.Metrics
 			if events {
-				t.sink = obs.NewMemorySink()
+				t.sink = sinkPool.Get().(*obs.MemorySink)
+				t.sink.Reset()
 				t.inj.Events = t.sink
 			}
 		}
@@ -327,53 +336,89 @@ func Run(tenants []TenantSpec, opts Options) (*Result, error) {
 	res := &Result{Minutes: minutes, Tenants: make([]TenantResult, len(ts))}
 	ctx := context.Background()
 
-	for now := 0; now < minutes; now++ {
-		// Sequential tick prologue: refresh the cluster-wide scheduling
-		// pressure from the fleet-level injector.
+	// Per-run arbitration scratch, hoisted out of the tick loop: the
+	// scale-up worklist, the infeasibility node tally and the enactment
+	// rollback list are reused across every tick.
+	var ups []int
+	arb := &arbScratch{}
+
+	// The replay advances in decision-cadence segments rather than single
+	// minutes: limits only change in phase 2, which only runs at decision
+	// ticks, so every minute in between is pure tenant-local observation.
+	// Batching the segment into ONE parallel fan-out per decision tick
+	// (instead of one per minute) removes ~DecisionEveryMinutes×
+	// scheduling round-trips per tick while preserving the exact
+	// per-minute observe/account/meter sequence each tenant executes —
+	// results and event streams stay byte-identical at every worker count.
+	for segStart := 0; segStart < minutes; {
+		// The segment ends just after the next decision minute (the first
+		// now ≥ segStart with now ≥ warmup and (now−warmup)%D == 0), or at
+		// the horizon when no further decision happens.
+		segEnd := minutes // exclusive
+		decision := -1    // the decision minute, -1 when the replay ends first
+		nd := warmup
+		if segStart > warmup {
+			d := opts.DecisionEveryMinutes
+			nd = warmup + (segStart-warmup+d-1)/d*d
+		}
+		if nd < minutes {
+			segEnd = nd + 1
+			decision = nd
+		}
+
+		// Sequential segment prologue: poll the fleet-level scheduling
+		// pressure for every minute in order — the same draw and event
+		// sequence the per-minute loop produced — keeping the decision
+		// minute's value for this tick's arbitration.
 		pressure := 0.0
 		if finj != nil {
-			pressure = finj.PressureCores(int64(now))
+			for now := segStart; now < segEnd; now++ {
+				pressure = finj.PressureCores(int64(now))
+			}
 			cluster.SetPressure(pressure)
 		}
 
-		// Phase 1 — parallel observe/decide. Each task touches only its
-		// tenant's state and reads the cluster nothing mutates until
-		// phase 2, so any worker count produces identical proposals.
+		// Phase 1 — parallel observe/decide over the whole segment. Each
+		// task touches only its tenant's state and reads nothing phase 2
+		// mutates, so any worker count produces identical proposals.
 		err := parallel.ForEach(ctx, len(ts), opts.Workers, func(i int) error {
 			t := ts[i]
-			limit := t.set.CPULimit()
-			demand := t.spec.Trace.Values[now]
-			usage := demand
-			if lim := float64(limit); usage > lim {
-				usage = lim
-			}
+			limit := t.set.CPULimit() // constant within the segment
+			limf := float64(limit)
+			t.hasProp = false
+			for now := segStart; now < segEnd; now++ {
+				demand := t.spec.Trace.Values[now]
+				usage := demand
+				if usage > limf {
+					usage = limf
+				}
 
-			// Scrape: a metrics-gap fault loses this minute's sample, so
-			// the recommender observes the previous one — ground-truth
-			// accounting below is unaffected.
-			observed := usage
-			if t.inj.DropSample(t.primaryName(), int64(now)) {
-				observed = t.prevUsage
-			}
-			t.prevUsage = usage
-			t.rec.Observe(now, observed)
+				// Scrape: a metrics-gap fault loses this minute's sample,
+				// so the recommender observes the previous one —
+				// ground-truth accounting below is unaffected.
+				observed := usage
+				if t.inj.DropSample(t.primaryName(), int64(now)) {
+					observed = t.prevUsage
+				}
+				t.prevUsage = usage
+				t.rec.Observe(now, observed)
 
-			// Ground-truth accounting in core-minutes.
-			if slack := float64(limit) - usage; slack > 0 {
-				t.res.SumSlack += slack
+				// Ground-truth accounting in core-minutes.
+				if slack := limf - usage; slack > 0 {
+					t.res.SumSlack += slack
+				}
+				if short := demand - limf; short > 0 {
+					t.res.SumInsufficient += short
+					t.severity += short
+					t.res.ThrottledMinutes++
+				}
+				t.meter.Record(limf)
 			}
-			if short := demand - float64(limit); short > 0 {
-				t.res.SumInsufficient += short
-				t.severity += short
-				t.res.ThrottledMinutes++
-			}
-			t.meter.Record(float64(limit))
 
 			// Decide: file a proposal for phase 2. The severity snapshot
 			// is the insufficiency accumulated since the last decision —
 			// the arbiter's priority signal.
-			t.hasProp = false
-			if now >= warmup && (now-warmup)%opts.DecisionEveryMinutes == 0 {
+			if decision >= 0 {
 				target := t.rec.Recommend(limit)
 				if target < t.spec.MinCores {
 					target = t.spec.MinCores
@@ -392,38 +437,53 @@ func Run(tenants []TenantSpec, opts Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		segStart = segEnd
+		if decision < 0 {
+			continue
+		}
+		now := decision
 
 		// Phase 2 — sequential enact/arbitrate. Scale-downs first: they
 		// only release capacity, so they are always granted and make room
 		// for this tick's scale-ups (the arbiter sees the freed cores).
-		var ups []int
+		ups = ups[:0]
 		for i, t := range ts {
 			if !t.hasProp {
 				continue
 			}
 			if t.prop.target < t.set.CPULimit() {
-				enact(t, t.prop, cluster, h.Events, events, now)
+				enact(t, t.prop, cluster, arb, h.Events, events, now)
 			} else {
 				ups = append(ups, i)
 			}
 		}
 
 		// Arbitration: grant scale-ups most-throttled-first; tenant index
-		// breaks ties deterministically. Each grant applies its in-place
-		// resizes immediately, so later feasibility checks see the
-		// already-reserved capacity.
+		// breaks ties deterministically. The order is total (indices are
+		// unique), so this closure-free insertion sort reproduces exactly
+		// the permutation sort.SliceStable used to produce. Each grant
+		// applies its in-place resizes immediately, so later feasibility
+		// checks see the already-reserved capacity.
 		if len(ups) > 0 {
-			sort.SliceStable(ups, func(a, b int) bool {
-				ta, tb := ts[ups[a]], ts[ups[b]]
-				if ta.prop.severity != tb.prop.severity {
-					return ta.prop.severity > tb.prop.severity
+			for a := 1; a < len(ups); a++ {
+				v := ups[a]
+				sv := ts[v].prop.severity
+				b := a - 1
+				for b >= 0 {
+					sb := ts[ups[b]].prop.severity
+					if sv > sb || (sv == sb && v < ups[b]) {
+						ups[b+1] = ups[b]
+						b--
+					} else {
+						break
+					}
 				}
-				return ups[a] < ups[b]
-			})
+				ups[b+1] = v
+			}
 			granted, deferred := 0, 0
 			for _, i := range ups {
 				t := ts[i]
-				if node, short := infeasible(t, t.prop.target, cluster, pressure); node != "" {
+				if node, short := infeasible(t, t.prop.target, cluster, pressure, arb); node != "" {
 					t.res.Deferrals++
 					deferred++
 					if events {
@@ -438,7 +498,7 @@ func Run(tenants []TenantSpec, opts Options) (*Result, error) {
 					}
 					continue
 				}
-				enact(t, t.prop, cluster, h.Events, events, now)
+				enact(t, t.prop, cluster, arb, h.Events, events, now)
 				granted++
 			}
 			if deferred > 0 {
@@ -485,6 +545,8 @@ func Run(tenants []TenantSpec, opts Options) (*Result, error) {
 			}})
 			if t.sink != nil {
 				t.sink.ReplayTo(h.Events)
+				sinkPool.Put(t.sink)
+				t.sink = nil
 			}
 		}
 	}
@@ -501,33 +563,51 @@ func Run(tenants []TenantSpec, opts Options) (*Result, error) {
 	return res, nil
 }
 
+// arbScratch holds the phase-2 working storage reused across ticks: the
+// per-node resize tally of infeasible (a pair of parallel slices — sets
+// span a handful of nodes, so linear probing beats a map rebuilt per
+// check) and enact's rollback list.
+type arbScratch struct {
+	nodes []string
+	need  []float64
+	done  []*k8s.Pod
+}
+
 // infeasible checks whether granting the tenant's scale-up would
 // oversubscribe any node hosting its pods: per node, the summed resize
 // deltas must fit the node's free capacity minus the transient scheduling
 // pressure (which the raw in-place resize path does not see — the arbiter
 // is the pressure-aware layer). It returns the first violating node's
 // name and the shortfall in cores, or "" when the grant fits.
-func infeasible(t *tenant, target int, cluster *k8s.Cluster, pressure float64) (string, float64) {
-	need := map[string]float64{}
-	var order []string
+func infeasible(t *tenant, target int, cluster *k8s.Cluster, pressure float64, arb *arbScratch) (string, float64) {
+	arb.nodes = arb.nodes[:0]
+	arb.need = arb.need[:0]
 	for _, p := range t.set.Pods {
 		delta := float64(target) - p.CPULimit()
 		if delta <= 0 || p.NodeName == "" {
 			continue
 		}
-		if _, ok := need[p.NodeName]; !ok {
-			order = append(order, p.NodeName)
+		found := false
+		for j, name := range arb.nodes {
+			if name == p.NodeName {
+				arb.need[j] += delta
+				found = true
+				break
+			}
 		}
-		need[p.NodeName] += delta
+		if !found {
+			arb.nodes = append(arb.nodes, p.NodeName)
+			arb.need = append(arb.need, delta)
+		}
 	}
-	for _, name := range order {
+	for j, name := range arb.nodes {
 		n := cluster.NodeByName(name)
 		if n == nil {
-			return name, need[name]
+			return name, arb.need[j]
 		}
 		free := n.Free().CPUCores - pressure
-		if need[name] > free {
-			return name, need[name] - free
+		if arb.need[j] > free {
+			return name, arb.need[j] - free
 		}
 	}
 	return "", 0
@@ -537,7 +617,7 @@ func infeasible(t *tenant, target int, cluster *k8s.Cluster, pressure float64) (
 // place to the target (all-or-nothing — an unexpected mid-apply rejection
 // rolls the already-resized pods back). An injected restart failure
 // aborts the enactment before any pod changes, modelling a failed apply.
-func enact(t *tenant, prop proposal, cluster *k8s.Cluster, sink obs.Sink, events bool, now int) {
+func enact(t *tenant, prop proposal, cluster *k8s.Cluster, arb *arbScratch, sink obs.Sink, events bool, now int) {
 	from := t.set.CPULimit()
 	if t.inj.RestartFails(t.primaryName(), int64(now)) {
 		t.res.ResizesAborted++
@@ -551,7 +631,7 @@ func enact(t *tenant, prop proposal, cluster *k8s.Cluster, sink obs.Sink, events
 		}
 		return
 	}
-	done := make([]*k8s.Pod, 0, len(t.set.Pods))
+	done := arb.done[:0]
 	for _, p := range t.set.Pods {
 		spec := k8s.NewGuaranteedSpec(prop.target, t.spec.MemGiBPerPod)
 		if err := cluster.ResizeInPlace(p, spec); err != nil {
@@ -561,6 +641,7 @@ func enact(t *tenant, prop proposal, cluster *k8s.Cluster, sink obs.Sink, events
 			for _, q := range done {
 				_ = cluster.ResizeInPlace(q, k8s.NewGuaranteedSpec(from, t.spec.MemGiBPerPod))
 			}
+			arb.done = done[:0]
 			t.res.ResizesAborted++
 			if events {
 				sink.Emit(obs.Event{T: int64(now), Type: "fleet.resize-aborted", Fields: []obs.Field{
@@ -574,6 +655,7 @@ func enact(t *tenant, prop proposal, cluster *k8s.Cluster, sink obs.Sink, events
 		}
 		done = append(done, p)
 	}
+	arb.done = done[:0]
 	t.res.NumScalings++
 	if events {
 		sink.Emit(obs.Event{T: int64(now), Type: "fleet.resize", Fields: []obs.Field{

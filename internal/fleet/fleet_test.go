@@ -252,6 +252,9 @@ func TestValidationErrors(t *testing.T) {
 		{"bad cadence", []TenantSpec{good}, func(o *Options) { o.DecisionEveryMinutes = 0 }, errs.ErrInvalidConfig},
 		{"empty trace", []TenantSpec{{Name: "x", NewRecommender: good.NewRecommender,
 			InitialCores: 1, MinCores: 1, MaxCores: 4}}, nil, errs.ErrEmptyTrace},
+		{"coarse trace", []TenantSpec{{Name: "x", Trace: trace.New("coarse", time.Hour, []float64{1, 2, 3}),
+			NewRecommender: good.NewRecommender,
+			InitialCores:   1, MinCores: 1, MaxCores: 4}}, nil, errs.ErrInvalidConfig},
 		{"duplicate names", []TenantSpec{good, good}, nil, errs.ErrInvalidConfig},
 		{"bad bounds", []TenantSpec{{Name: "x", Trace: good.Trace, NewRecommender: good.NewRecommender,
 			InitialCores: 0, MinCores: 1, MaxCores: 4}}, nil, errs.ErrInvalidConfig},

@@ -48,6 +48,26 @@ func (e *Ensemble) Name() string {
 	return fmt.Sprintf("ensemble-%s(%s)", mode, strings.Join(names, ","))
 }
 
+// HistoryNeed implements HistoryBound: the maximum of the members' needs.
+// Any unbounded member (or an empty ensemble) makes the whole ensemble
+// unbounded.
+func (e *Ensemble) HistoryNeed() int {
+	if len(e.Members) == 0 {
+		return -1
+	}
+	need := 0
+	for _, m := range e.Members {
+		n := HistoryNeed(m)
+		if n < 0 {
+			return -1
+		}
+		if n > need {
+			need = n
+		}
+	}
+	return need
+}
+
 // Forecast implements Forecaster. Members that error on the given history
 // are skipped; if every member errors, the first error is returned.
 func (e *Ensemble) Forecast(history []float64, horizon int) ([]float64, error) {

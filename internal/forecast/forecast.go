@@ -38,6 +38,33 @@ type Forecaster interface {
 // ErrShortHistory is returned when the history is insufficient to fit.
 var ErrShortHistory = errors.New("forecast: history too short")
 
+// HistoryBound is implemented by forecasters whose output depends only on
+// a bounded tail of the history. Bounded-memory callers (the recommender
+// adapters' window.Ring) use it to size their retained window: feeding
+// such a forecaster the last HistoryNeed samples yields bit-identical
+// forecasts to feeding it the full series.
+//
+// HistoryNeed returns the number of trailing samples the forecast is a
+// function of, or a negative value when the forecaster genuinely reads
+// the entire series (e.g. exponential smoothing, whose level folds in
+// every sample ever seen) — callers must then retain unbounded history.
+type HistoryBound interface {
+	HistoryNeed() int
+}
+
+// HistoryNeed reports the retained-history requirement of f: f's own
+// HistoryNeed when it implements HistoryBound, otherwise -1 (unbounded).
+// A nil forecaster needs nothing.
+func HistoryNeed(f Forecaster) int {
+	if f == nil {
+		return 0
+	}
+	if hb, ok := f.(HistoryBound); ok {
+		return hb.HistoryNeed()
+	}
+	return -1
+}
+
 // clampNonNegative floors forecasts at zero — CPU usage cannot be negative.
 func clampNonNegative(xs []float64) []float64 {
 	for i, v := range xs {
@@ -85,11 +112,24 @@ func (f *SeasonalNaive) Forecast(history []float64, horizon int) ([]float64, err
 	return clampNonNegative(out), nil
 }
 
+// HistoryNeed implements HistoryBound: one full season (the forecast
+// indexes at most Season samples back; shorter histories degrade to
+// last-value, which needs just the final sample).
+func (f *SeasonalNaive) HistoryNeed() int {
+	if f.Season <= 1 {
+		return 1
+	}
+	return f.Season
+}
+
 // Naive forecasts the last observed value for the whole horizon.
 type Naive struct{}
 
 // Name implements Forecaster.
 func (Naive) Name() string { return "naive" }
+
+// HistoryNeed implements HistoryBound: only the last value matters.
+func (Naive) HistoryNeed() int { return 1 }
 
 // Forecast implements Forecaster.
 func (Naive) Forecast(history []float64, horizon int) ([]float64, error) {
@@ -104,6 +144,15 @@ type MovingAverage struct {
 
 // Name implements Forecaster.
 func (f *MovingAverage) Name() string { return fmt.Sprintf("moving-average(%d)", f.Window) }
+
+// HistoryNeed implements HistoryBound. A non-positive Window averages
+// the entire series, so it reports unbounded.
+func (f *MovingAverage) HistoryNeed() int {
+	if f.Window <= 0 {
+		return -1
+	}
+	return f.Window
+}
 
 // Forecast implements Forecaster.
 func (f *MovingAverage) Forecast(history []float64, horizon int) ([]float64, error) {
@@ -167,6 +216,15 @@ type Drift struct {
 
 // Name implements Forecaster.
 func (f *Drift) Name() string { return fmt.Sprintf("drift(%d)", f.Window) }
+
+// HistoryNeed implements HistoryBound. Window ≤ 1 fits the trend over
+// the whole series, so it reports unbounded.
+func (f *Drift) HistoryNeed() int {
+	if f.Window <= 1 {
+		return -1
+	}
+	return f.Window
+}
 
 // Forecast implements Forecaster.
 func (f *Drift) Forecast(history []float64, horizon int) ([]float64, error) {

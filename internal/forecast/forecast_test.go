@@ -342,3 +342,92 @@ func TestAccuracyHorizonClamp(t *testing.T) {
 		t.Errorf("clamped-horizon MAE = %v, want 1.5", mae)
 	}
 }
+
+// ---------------------------------------------------------------------------
+// HistoryBound contract
+
+// TestHistoryNeedContract: for every bounded forecaster, forecasting from
+// the last HistoryNeed samples must be bit-identical to forecasting from
+// the full series — that equivalence is what lets ring-backed adapters
+// cap their retained history.
+func TestHistoryNeedContract(t *testing.T) {
+	rng := stats.NewRNG(31)
+	series := make([]float64, 700)
+	for i := range series {
+		series[i] = 2 + math.Sin(float64(i)*2*math.Pi/48) + rng.NormFloat64()*0.1
+	}
+	bounded := []Forecaster{
+		&SeasonalNaive{Season: 48},
+		&SeasonalNaive{Season: 0},
+		Naive{},
+		&MovingAverage{Window: 30},
+		&Drift{Window: 25},
+		&Ensemble{Members: []Forecaster{&SeasonalNaive{Season: 48}, &MovingAverage{Window: 30}}},
+	}
+	for _, f := range bounded {
+		need := HistoryNeed(f)
+		if need <= 0 {
+			t.Fatalf("%s: HistoryNeed = %d, want bounded > 0", f.Name(), need)
+		}
+		full, err := f.Forecast(series, 60)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name(), err)
+		}
+		tail, err := f.Forecast(series[len(series)-need:], 60)
+		if err != nil {
+			t.Fatalf("%s tail: %v", f.Name(), err)
+		}
+		for i := range full {
+			if full[i] != tail[i] {
+				t.Fatalf("%s: tail forecast diverges at %d: %v != %v", f.Name(), i, tail[i], full[i])
+			}
+		}
+	}
+
+	unbounded := []Forecaster{
+		&ExponentialMovingAverage{Alpha: 0.3},
+		&MovingAverage{Window: 0},
+		&Drift{Window: 0},
+		&HoltWinters{Alpha: 0.3, Beta: 0.1, Gamma: 0.1, Season: 48},
+		&AR{P: 4},
+		&AutoSeasonalNaive{MinLag: 2, MaxLag: 96},
+		&Ensemble{Members: []Forecaster{Naive{}, &ExponentialMovingAverage{Alpha: 0.3}}},
+	}
+	for _, f := range unbounded {
+		if need := HistoryNeed(f); need >= 0 {
+			t.Errorf("%s: HistoryNeed = %d, want unbounded (<0)", f.Name(), need)
+		}
+	}
+	if HistoryNeed(nil) != 0 {
+		t.Error("nil forecaster should need no history")
+	}
+}
+
+// TestIntervalHistoryNeedCoversResiduals: the interval forecaster's bound
+// must cover the two seasons residualSD reads, so the prefilter verdict
+// is identical under bounded history.
+func TestIntervalHistoryNeedCoversResiduals(t *testing.T) {
+	rng := stats.NewRNG(33)
+	series := make([]float64, 500)
+	for i := range series {
+		series[i] = 3 + math.Sin(float64(i)*2*math.Pi/40) + rng.NormFloat64()*0.2
+	}
+	f := NewIntervalSeasonalNaive(40)
+	need := f.HistoryNeed()
+	if need != 80 {
+		t.Fatalf("HistoryNeed = %d, want 80 (2 seasons)", need)
+	}
+	p1, l1, h1, err := f.ForecastInterval(series, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, l2, h2, err := f.ForecastInterval(series[len(series)-need:], 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] || l1[i] != l2[i] || h1[i] != h2[i] {
+			t.Fatalf("interval diverges at %d", i)
+		}
+	}
+}

@@ -41,6 +41,17 @@ func (f *IntervalSeasonalNaive) Name() string {
 	return "interval-" + f.SeasonalNaive.Name()
 }
 
+// HistoryNeed implements HistoryBound, overriding the embedded
+// SeasonalNaive's answer: residualSD compares the last two full seasons,
+// so the interval (and hence the §4.3 prefilter verdict) depends on
+// 2×Season trailing samples, not one.
+func (f *IntervalSeasonalNaive) HistoryNeed() int {
+	if f.Season <= 1 {
+		return 1
+	}
+	return 2 * f.Season
+}
+
 // ForecastInterval implements IntervalForecaster.
 func (f *IntervalSeasonalNaive) ForecastInterval(history []float64, horizon int) (point, lo, hi []float64, err error) {
 	point, err = f.Forecast(history, horizon)

@@ -280,6 +280,14 @@ func (m *MemorySink) Len() int {
 	return len(m.events)
 }
 
+// Reset discards the collected events but keeps the backing storage, so
+// a sink can be pooled across runs instead of reallocated.
+func (m *MemorySink) Reset() {
+	m.mu.Lock()
+	m.events = m.events[:0]
+	m.mu.Unlock()
+}
+
 // ReplayTo re-emits every collected event into dst in order.
 func (m *MemorySink) ReplayTo(dst Sink) {
 	if !Enabled(dst) {

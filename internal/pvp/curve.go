@@ -72,6 +72,10 @@ type Curve struct {
 	// (SlopeAt, Skew, FlatTailAt); recomputing the full vector each time
 	// was the dominant per-decision cost.
 	slopes []float64
+	// buckets is BuildCurveInto's reusable exceed-count histogram
+	// (Count()+1 slots), making the rebuild O(samples + SKUs) instead of
+	// O(samples × SKUs).
+	buckets []int
 }
 
 // SlopeScale converts raw per-core probability differences into the slope
@@ -117,19 +121,73 @@ func BuildCurveInto(c *Curve, usage []float64, r SKURange) error {
 	if price <= 0 {
 		price = 1
 	}
+	k := r.Count()
 	points := c.Points[:0]
-	if cap(points) < r.Count() {
-		points = make([]Point, 0, r.Count())
+	if cap(points) < k {
+		points = make([]Point, 0, k)
 	}
-	for cores := r.MinCores; cores <= r.MaxCores; cores++ {
-		cap := float64(cores)
-		var exceed int
-		for _, u := range usage {
-			if u > cap*(1-eps) {
-				exceed++
-			}
+
+	// One histogram pass instead of a per-SKU scan: the per-SKU exceed
+	// predicate u > cores·(1−eps) is monotone in cores, so each sample
+	// contributes to a contiguous prefix of the ladder. Bucket every
+	// sample by the LARGEST core count it still exceeds (found by an
+	// estimate plus an exact-predicate fixup, so float rounding at the
+	// boundary cannot diverge from the direct comparison), then a single
+	// suffix sum yields every SKU's exceed count. The resulting counts —
+	// and therefore every Performance value — are bit-identical to the
+	// O(samples × SKUs) scan.
+	// Small ladders (the common case) histogram into a stack array, so
+	// even one-shot BuildCurve calls pay no extra allocation; only ladders
+	// wider than the array fall back to the reusable heap buffer. The
+	// heap slice is stored through its own variable — never through
+	// `buckets` — so the stack array cannot be forced to escape.
+	var stack [64]int
+	var buckets []int
+	switch {
+	case k+1 <= len(stack):
+		buckets = stack[:k+1] // zeroed at declaration
+	case cap(c.buckets) >= k+1:
+		buckets = c.buckets[:k+1]
+		for i := range buckets {
+			buckets[i] = 0
 		}
-		p := float64(exceed) / float64(len(usage))
+	default:
+		grown := make([]int, k+1)
+		c.buckets = grown
+		buckets = grown
+	}
+	const factor = 1 - eps
+	for _, u := range usage {
+		// Largest cores in [MinCores-1, MaxCores] with u > cores·factor
+		// (MinCores-1 encodes "exceeds none"). int(u/factor) lands within
+		// one of the truth for finite u; NaN/±Inf hit the clamps and the
+		// exact-predicate loops leave them on the correct side.
+		hi := int(u / factor)
+		if !(hi >= r.MinCores-1) { // also catches NaN conversions
+			hi = r.MinCores - 1
+		}
+		if hi > r.MaxCores {
+			hi = r.MaxCores
+		}
+		for hi < r.MaxCores && u > float64(hi+1)*factor {
+			hi++
+		}
+		for hi >= r.MinCores && !(u > float64(hi)*factor) {
+			hi--
+		}
+		buckets[hi-(r.MinCores-1)]++
+	}
+
+	// exceed for the t-th SKU (cores = MinCores+t) = Σ_{j>t} buckets[j].
+	exceed := 0
+	for t := k; t >= 1; t-- {
+		exceed += buckets[t]
+		// Filled in ladder order below; stash the suffix sum in place.
+		buckets[t] = exceed
+	}
+	for t := 0; t < k; t++ {
+		cores := r.MinCores + t
+		p := float64(buckets[t+1]) / float64(len(usage))
 		points = append(points, Point{
 			Cores:        cores,
 			Performance:  1 - p,

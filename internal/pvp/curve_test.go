@@ -328,3 +328,99 @@ func TestScalingFactorCurve(t *testing.T) {
 		t.Errorf("clamped lengths = %d, %d", len(s2), len(f2))
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Histogram curve build equivalence (the O(samples + SKUs) rebuild)
+
+// bruteExceedCurve is the direct O(samples × SKUs) definition the histogram
+// build must reproduce bit-for-bit.
+func bruteExceedCurve(usage []float64, r SKURange) []float64 {
+	const eps = 0.02
+	out := make([]float64, 0, r.Count())
+	for cores := r.MinCores; cores <= r.MaxCores; cores++ {
+		capf := float64(cores)
+		var exceed int
+		for _, u := range usage {
+			if u > capf*(1-eps) {
+				exceed++
+			}
+		}
+		out = append(out, 1-float64(exceed)/float64(len(usage)))
+	}
+	return out
+}
+
+func TestBuildCurveMatchesBruteForce(t *testing.T) {
+	rng := stats.NewRNG(99)
+	ranges := []SKURange{
+		{MinCores: 1, MaxCores: 16},
+		{MinCores: 2, MaxCores: 32},
+		{MinCores: 5, MaxCores: 5},
+		{MinCores: 1, MaxCores: 128},
+	}
+	var c Curve
+	for trial := 0; trial < 200; trial++ {
+		r := ranges[trial%len(ranges)]
+		n := 1 + trial%60
+		usage := make([]float64, n)
+		for i := range usage {
+			switch trial % 5 {
+			case 0:
+				usage[i] = rng.Range(0, float64(r.MaxCores)+4)
+			case 1:
+				// Exactly at SKU boundaries: cores·0.98, the tie case.
+				usage[i] = float64(1+i%r.MaxCores) * 0.98
+			case 2:
+				usage[i] = -rng.Range(0, 3) // below the whole ladder
+			case 3:
+				usage[i] = float64(r.MaxCores) * 10 // above the ladder
+			default:
+				usage[i] = rng.Range(0, float64(r.MaxCores))
+			}
+		}
+		if trial%7 == 0 {
+			usage[0] = math.NaN()
+		}
+		if trial%11 == 0 {
+			usage[n-1] = math.Inf(1)
+		}
+		if trial%13 == 0 && n > 1 {
+			usage[n/2] = math.Inf(-1)
+		}
+		if err := BuildCurveInto(&c, usage, r); err != nil {
+			t.Fatal(err)
+		}
+		want := bruteExceedCurve(usage, r)
+		if len(c.Points) != len(want) {
+			t.Fatalf("trial %d: %d points, want %d", trial, len(c.Points), len(want))
+		}
+		for i, w := range want {
+			if c.Points[i].Performance != w {
+				t.Fatalf("trial %d range %+v: point %d perf %v, want %v (usage %v)",
+					trial, r, i, c.Points[i].Performance, w, usage)
+			}
+		}
+	}
+}
+
+// TestBuildCurveIntoSteadyStateZeroAllocs: the per-decision rebuild must
+// not allocate once the curve's scratch buffers are warm.
+func TestBuildCurveIntoSteadyStateZeroAllocs(t *testing.T) {
+	r := defaultRange()
+	usage := make([]float64, 40)
+	for i := range usage {
+		usage[i] = float64((i*37)%17) + 0.5
+	}
+	var c Curve
+	if err := BuildCurveInto(&c, usage, r); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		if err := BuildCurveInto(&c, usage, r); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("BuildCurveInto steady-state allocs = %v, want 0", allocs)
+	}
+}

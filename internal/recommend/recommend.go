@@ -14,6 +14,7 @@ import (
 	"caasper/internal/errs"
 	"caasper/internal/forecast"
 	"caasper/internal/obs"
+	win "caasper/internal/window"
 )
 
 // Recommender is a pluggable vertical-scaling policy. Implementations are
@@ -66,8 +67,10 @@ type Instrumentable interface {
 type CaaSPERReactive struct {
 	algo   *core.Recommender
 	window int
-	// history holds all observed samples; Recommend evaluates the tail.
-	history []float64
+	// history retains exactly the window samples Algorithm 1 reads:
+	// memory stays O(window) over a month-long replay, and the
+	// steady-state Observe path is allocation-free.
+	history *win.Ring
 	// scratch reuses the Algorithm 1 evaluation buffers across decision
 	// ticks (an adapter is single-stream state already).
 	scratch core.Scratch
@@ -86,7 +89,7 @@ func NewCaaSPERReactive(cfg core.Config, window int) (*CaaSPERReactive, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &CaaSPERReactive{algo: algo, window: window}, nil
+	return &CaaSPERReactive{algo: algo, window: window, history: win.New(window)}, nil
 }
 
 // Name implements Recommender.
@@ -95,16 +98,14 @@ func (c *CaaSPERReactive) Name() string { return "caasper-reactive" }
 // Observe implements Recommender.
 func (c *CaaSPERReactive) Observe(minute int, usageCores float64) {
 	c.scratch.Now = int64(minute) // timestamp for the next decision audit
-	c.history = append(c.history, usageCores)
+	c.history.Push(usageCores)
 }
 
 // Recommend implements Recommender.
 func (c *CaaSPERReactive) Recommend(currentCores int) int {
-	w := c.history
-	if len(w) > c.window {
-		w = w[len(w)-c.window:]
-	}
-	d, err := c.algo.DecideScratch(&c.scratch, currentCores, w)
+	// The ring retains exactly the window tail the unbounded adapter
+	// used to slice off, already contiguous — no copy, no allocation.
+	d, err := c.algo.DecideScratch(&c.scratch, currentCores, c.history.View())
 	if err != nil {
 		return currentCores // no usable signal: hold
 	}
@@ -115,23 +116,36 @@ func (c *CaaSPERReactive) Recommend(currentCores int) int {
 // Reset implements Recommender. The attached event sink survives: a reset
 // starts a new decision stream, not a new telemetry configuration.
 func (c *CaaSPERReactive) Reset() {
-	c.history = c.history[:0]
+	c.history.Reset()
 	c.scratch = core.Scratch{Sink: c.scratch.Sink}
 	c.LastDecision = core.Decision{}
 }
 
-// Explain implements Explainer.
-func (c *CaaSPERReactive) Explain() string { return c.LastDecision.Explanation }
+// Explain implements Explainer. The hot path defers explanation
+// materialisation to the scratch buffer (core.Scratch.Explanation), so
+// the string is only built when something actually asks for it.
+func (c *CaaSPERReactive) Explain() string {
+	if e := c.LastDecision.Explanation; e != "" {
+		return e
+	}
+	return c.scratch.Explanation()
+}
 
 // SetEventSink implements Instrumentable.
 func (c *CaaSPERReactive) SetEventSink(s obs.Sink) { c.scratch.Sink = s }
 
-// CaaSPERProactive adapts core.Proactive: full history is retained so the
-// forecaster can learn the seasonal pattern, and each decision evaluates
-// Algorithm 1 on the combined observed+forecast window (Eq. 4).
+// CaaSPERProactive adapts core.Proactive: enough history is retained for
+// the forecaster to learn the seasonal pattern, and each decision
+// evaluates Algorithm 1 on the combined observed+forecast window (Eq. 4).
+//
+// When the forecaster declares a bounded history requirement
+// (forecast.HistoryBound), the adapter retains only
+// max(observedWindow, HistoryNeed) samples in a ring — O(window) memory
+// with bit-identical decisions. Forecasters that read the entire series
+// (EMA, Holt-Winters, AR) keep the unbounded history they genuinely need.
 type CaaSPERProactive struct {
 	pro     *core.Proactive
-	history []float64
+	history *win.Ring
 	// scratch reuses the Algorithm 1 evaluation buffers across ticks.
 	scratch core.Scratch
 	// LastUsedForecast reports whether the most recent decision
@@ -153,7 +167,25 @@ func NewCaaSPERProactive(cfg core.Config, f forecast.Forecaster, observedWindow,
 	if err != nil {
 		return nil, err
 	}
-	return &CaaSPERProactive{pro: pro}, nil
+	return &CaaSPERProactive{pro: pro, history: win.New(proactiveRetention(f, observedWindow, horizon))}, nil
+}
+
+// proactiveRetention sizes the proactive adapter's history ring: the
+// observed window always enters the combined window, and a bounded
+// forecaster additionally reads its HistoryNeed tail. 0 (unbounded) when
+// the forecaster's output depends on the full series.
+func proactiveRetention(f forecast.Forecaster, observedWindow, horizon int) int {
+	if f == nil || horizon == 0 {
+		return observedWindow
+	}
+	need := forecast.HistoryNeed(f)
+	if need < 0 {
+		return 0 // unbounded: correctness beats the memory bound
+	}
+	if need > observedWindow {
+		return need
+	}
+	return observedWindow
 }
 
 // Name implements Recommender.
@@ -162,12 +194,15 @@ func (c *CaaSPERProactive) Name() string { return "caasper-proactive" }
 // Observe implements Recommender.
 func (c *CaaSPERProactive) Observe(minute int, usageCores float64) {
 	c.scratch.Now = int64(minute) // timestamp for the next decision audit
-	c.history = append(c.history, usageCores)
+	c.history.Push(usageCores)
 }
 
 // Recommend implements Recommender.
 func (c *CaaSPERProactive) Recommend(currentCores int) int {
-	d, used, err := c.pro.DecideScratch(&c.scratch, currentCores, c.history)
+	// Total() (samples ever observed), not the retained length, gates the
+	// MinHistory warm-up — a bounded ring must activate proactive mode at
+	// the same tick an unbounded history would.
+	d, used, err := c.pro.DecideHistoryScratch(&c.scratch, currentCores, c.history.View(), c.history.Total())
 	if err != nil {
 		return currentCores
 	}
@@ -179,14 +214,21 @@ func (c *CaaSPERProactive) Recommend(currentCores int) int {
 // Reset implements Recommender. The attached event sink survives (see
 // CaaSPERReactive.Reset).
 func (c *CaaSPERProactive) Reset() {
-	c.history = c.history[:0]
+	c.history.Reset()
 	c.scratch = core.Scratch{Sink: c.scratch.Sink}
 	c.LastUsedForecast = false
 	c.LastDecision = core.Decision{}
 }
 
-// Explain implements Explainer.
-func (c *CaaSPERProactive) Explain() string { return c.LastDecision.Explanation }
+// Explain implements Explainer. Proactive decisions carry their prefixed
+// explanation eagerly; the reactive warm-up path defers to the scratch
+// buffer (see CaaSPERReactive.Explain).
+func (c *CaaSPERProactive) Explain() string {
+	if e := c.LastDecision.Explanation; e != "" {
+		return e
+	}
+	return c.scratch.Explanation()
+}
 
 // SetEventSink implements Instrumentable.
 func (c *CaaSPERProactive) SetEventSink(s obs.Sink) { c.scratch.Sink = s }

@@ -252,7 +252,10 @@ func Run(tr *trace.Trace, rec recommend.Recommender, opts Options) (*Result, err
 		return nil, fmt.Errorf("sim: empty trace: %w", errs.ErrEmptyTrace)
 	}
 	if tr.Interval != time.Minute {
-		return nil, fmt.Errorf("sim: trace interval %v, want 1m (resample first): %w", tr.Interval, errs.ErrEmptyTrace)
+		// A trace on the wrong grid is a configuration mistake (the caller
+		// forgot to resample), not an absence of data — wrap the sentinel
+		// that actually describes it.
+		return nil, fmt.Errorf("sim: trace interval %v, want 1m (resample first): %w", tr.Interval, errs.ErrInvalidConfig)
 	}
 	// Resolve the telemetry/fault knobs once: deprecated aliases overlay
 	// the embedded RunHooks (hooks.RunHooks.Merge).

@@ -15,7 +15,6 @@ package stats
 import (
 	"errors"
 	"math"
-	"sort"
 )
 
 // ErrEmpty is returned by functions that cannot operate on empty samples.
@@ -91,8 +90,25 @@ func Max(xs []float64) float64 {
 // interpolation between closest ranks (the "R-7" method used by most
 // statistics packages). It returns an error for an empty sample and clamps
 // q into [0, 1].
+//
+// A single quantile needs at most two order statistics, not a total
+// order, so the implementation copies xs once and partially selects in
+// the copy (O(n) expected) instead of fully sorting (O(n log n)). The
+// result is bit-identical to sorting first: quickselect places the exact
+// k-th smallest element, and the interpolation formula is unchanged.
 func Quantile(xs []float64, q float64) (float64, error) {
-	if len(xs) == 0 {
+	scratch := make([]float64, len(xs))
+	copy(scratch, xs)
+	return QuantileInPlace(scratch, q)
+}
+
+// QuantileInPlace is Quantile evaluated destructively in the caller's
+// buffer: xs is partially reordered (no allocation). Hot-path callers
+// (one quantile per decision tick) keep a scratch copy and reuse it.
+// Bit-identical to Quantile and to QuantileSorted on a sorted copy.
+func QuantileInPlace(xs []float64, q float64) (float64, error) {
+	n := len(xs)
+	if n == 0 {
 		return 0, ErrEmpty
 	}
 	if q < 0 {
@@ -101,10 +117,82 @@ func Quantile(xs []float64, q float64) (float64, error) {
 	if q > 1 {
 		q = 1
 	}
-	sorted := make([]float64, len(xs))
-	copy(sorted, xs)
-	sort.Float64s(sorted)
-	return quantileSorted(sorted, q), nil
+	if n == 1 {
+		return xs[0], nil
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	selectNth(xs, lo)
+	vlo := xs[lo]
+	if lo == hi {
+		return vlo, nil
+	}
+	// hi == lo+1, and after selection everything right of lo is ≥ the
+	// lo-th order statistic, so the hi-th order statistic is the minimum
+	// of the right part.
+	vhi := Min(xs[lo+1:])
+	frac := pos - float64(lo)
+	return vlo*(1-frac) + vhi*frac, nil
+}
+
+// selectNth partially reorders xs so that xs[k] holds the k-th smallest
+// element, everything left of k is ≤ xs[k] and everything right is ≥
+// xs[k] (the classic nth-element contract). Deterministic median-of-three
+// pivoting; small ranges fall back to insertion sort. Expected O(n).
+func selectNth(xs []float64, k int) {
+	lo, hi := 0, len(xs)-1
+	for hi-lo > 12 {
+		// Median-of-three pivot, moved to xs[lo].
+		mid := lo + (hi-lo)/2
+		if xs[mid] < xs[lo] {
+			xs[mid], xs[lo] = xs[lo], xs[mid]
+		}
+		if xs[hi] < xs[lo] {
+			xs[hi], xs[lo] = xs[lo], xs[hi]
+		}
+		if xs[hi] < xs[mid] {
+			xs[hi], xs[mid] = xs[mid], xs[hi]
+		}
+		pivot := xs[mid]
+
+		// Hoare partition.
+		i, j := lo-1, hi+1
+		for {
+			for {
+				i++
+				if xs[i] >= pivot {
+					break
+				}
+			}
+			for {
+				j--
+				if xs[j] <= pivot {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			xs[i], xs[j] = xs[j], xs[i]
+		}
+		// Elements lo..j are ≤ pivot, j+1..hi are ≥ pivot.
+		if k <= j {
+			hi = j
+		} else {
+			lo = j + 1
+		}
+	}
+	// Insertion sort the remaining small range; xs[k] lands exactly.
+	for i := lo + 1; i <= hi; i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= lo && xs[j] > v {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
 }
 
 // QuantileSorted is Quantile for inputs already sorted ascending. It avoids

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -260,5 +261,83 @@ func TestQuantilePropertyMonotone(t *testing.T) {
 			}
 			prev = v
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Quickselect quantile equivalence (the O(window) hot-path contract)
+
+// TestQuantileInPlaceMatchesSorted: QuantileInPlace must be bit-identical
+// to the sort-based QuantileSorted for every q, including duplicate-heavy
+// and adversarially ordered inputs — the decision hot path swaps one for
+// the other and the goldens require byte-equal decisions.
+func TestQuantileInPlaceMatchesSorted(t *testing.T) {
+	rng := NewRNG(7)
+	qs := []float64{0, 0.05, 0.25, 0.5, 0.9, 0.95, 0.99, 1, -0.5, 1.5}
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + trial%97
+		xs := make([]float64, n)
+		for i := range xs {
+			switch trial % 4 {
+			case 0:
+				xs[i] = rng.Range(0, 16)
+			case 1:
+				xs[i] = float64(int(rng.Range(0, 5))) // heavy duplicates
+			case 2:
+				xs[i] = float64(n - i) // descending
+			default:
+				xs[i] = 3.25 // constant
+			}
+		}
+		sorted := make([]float64, n)
+		copy(sorted, xs)
+		sort.Float64s(sorted)
+		for _, q := range qs {
+			want, err := QuantileSorted(sorted, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scratch := make([]float64, n)
+			copy(scratch, xs)
+			got, err := QuantileInPlace(scratch, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("trial %d n=%d q=%v: in-place %v != sorted %v", trial, n, q, got, want)
+			}
+			got2, err := Quantile(xs, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got2 != want {
+				t.Fatalf("trial %d n=%d q=%v: Quantile %v != sorted %v", trial, n, q, got2, want)
+			}
+		}
+	}
+}
+
+func TestQuantileInPlaceEmpty(t *testing.T) {
+	if _, err := QuantileInPlace(nil, 0.5); err != ErrEmpty {
+		t.Fatalf("empty: err = %v, want ErrEmpty", err)
+	}
+}
+
+// TestQuantileInPlaceZeroAlloc: the in-place path must not allocate —
+// it runs once per decision tick.
+func TestQuantileInPlaceZeroAlloc(t *testing.T) {
+	xs := make([]float64, 1440)
+	for i := range xs {
+		xs[i] = float64((i * 131) % 997)
+	}
+	scratch := make([]float64, len(xs))
+	allocs := testing.AllocsPerRun(200, func() {
+		copy(scratch, xs)
+		if _, err := QuantileInPlace(scratch, 0.95); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("QuantileInPlace allocs = %v, want 0", allocs)
 	}
 }

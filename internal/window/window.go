@@ -1,0 +1,115 @@
+// Package window provides the fixed-capacity observation windows that
+// bound every recommender's memory to O(window) regardless of trace
+// length. The paper positions CaaSPER as a fleet-scale algorithm — it
+// runs "for all customer databases on the cluster" — so a month-long
+// replay across a thousand tenants must not retain a thousand unbounded
+// history slices when each policy only ever reads a fixed tail
+// (CaaSPER's 40-minute window, OpenShift-VPA's lookback, Autopilot's
+// moving-max window).
+//
+// The core type is Ring, a mirrored ring buffer: every sample is written
+// to two slots, i mod cap and i mod cap + cap, so the most recent
+// min(total, cap) samples are ALWAYS one contiguous sub-slice of the
+// backing array. That contiguity is what lets the decision hot path keep
+// its plain []float64 signatures (core.Decide, forecast.Forecaster)
+// without a copy per tick: View returns a slice into the buffer, in
+// chronological order, with zero allocations.
+//
+// A Ring with capacity ≤ 0 degrades to an unbounded append-backed
+// history. This is the correctness escape hatch for consumers whose
+// output genuinely depends on the entire series (e.g. forecasters that
+// do not implement forecast.HistoryBound): bit-equality with the
+// unbounded-history implementation always wins over the memory bound.
+package window
+
+// Ring is a bounded sliding window over float64 samples. The zero value
+// is an unbounded window (equivalent to a plain growing slice); use New
+// for a fixed capacity. A Ring is single-goroutine state, like the
+// recommender adapters that own one.
+type Ring struct {
+	// buf is the mirrored storage: 2*capacity slots in bounded mode,
+	// a plain append slice in unbounded mode.
+	buf []float64
+	// capacity is the retained-sample bound; 0 means unbounded.
+	capacity int
+	// total counts samples ever pushed (the logical history length,
+	// which can exceed the retained length in bounded mode).
+	total int
+}
+
+// New returns a Ring retaining the last capacity samples. capacity ≤ 0
+// yields an unbounded window.
+func New(capacity int) *Ring {
+	if capacity <= 0 {
+		return &Ring{}
+	}
+	return &Ring{buf: make([]float64, 2*capacity), capacity: capacity}
+}
+
+// Push appends one sample. In bounded mode this is two array stores —
+// no allocation, no branch on fullness — which is what keeps the
+// steady-state observe path at zero allocs/op.
+func (r *Ring) Push(v float64) {
+	if r.capacity == 0 {
+		r.buf = append(r.buf, v)
+		r.total++
+		return
+	}
+	i := r.total % r.capacity
+	r.buf[i] = v
+	r.buf[i+r.capacity] = v
+	r.total++
+}
+
+// Len returns the number of retained samples: min(Total, Cap) in bounded
+// mode, Total otherwise.
+func (r *Ring) Len() int {
+	if r.capacity == 0 || r.total < r.capacity {
+		return r.total
+	}
+	return r.capacity
+}
+
+// Total returns the number of samples ever pushed — the logical history
+// length. Consumers that gate on "how much history has accumulated"
+// (e.g. core.Proactive's MinHistory warm-up) must use Total, not Len,
+// to stay bit-equal with an unbounded history.
+func (r *Ring) Total() int { return r.total }
+
+// Cap returns the retention bound (0 = unbounded).
+func (r *Ring) Cap() int { return r.capacity }
+
+// Bounded reports whether the window retains a fixed number of samples.
+func (r *Ring) Bounded() bool { return r.capacity > 0 }
+
+// View returns the retained samples, oldest to newest, as one contiguous
+// slice into the mirrored buffer. The slice is valid until the next Push
+// and must not be mutated or retained across pushes. Zero allocations.
+func (r *Ring) View() []float64 {
+	if r.capacity == 0 {
+		return r.buf
+	}
+	if r.total <= r.capacity {
+		return r.buf[:r.total]
+	}
+	start := r.total % r.capacity
+	return r.buf[start : start+r.capacity]
+}
+
+// Tail returns the most recent n retained samples (all of them when
+// n ≥ Len). Same aliasing rules as View.
+func (r *Ring) Tail(n int) []float64 {
+	v := r.View()
+	if n >= len(v) {
+		return v
+	}
+	return v[len(v)-n:]
+}
+
+// Reset clears the window for reuse, keeping the backing storage.
+func (r *Ring) Reset() {
+	r.total = 0
+	if r.capacity == 0 {
+		r.buf = r.buf[:0]
+	}
+}

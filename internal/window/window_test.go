@@ -1,0 +1,135 @@
+package window
+
+import (
+	"testing"
+)
+
+// TestRingMatchesUnboundedTail: the ring's View must equal the tail of a
+// plain append history at every step — this is the exact substitution
+// the recommender adapters rely on for bit-equal decisions.
+func TestRingMatchesUnboundedTail(t *testing.T) {
+	for _, capacity := range []int{1, 2, 3, 5, 7, 40, 64} {
+		r := New(capacity)
+		var hist []float64
+		for i := 0; i < 5*capacity+3; i++ {
+			v := float64(i*i%17) + 0.25
+			r.Push(v)
+			hist = append(hist, v)
+
+			want := hist
+			if len(want) > capacity {
+				want = want[len(want)-capacity:]
+			}
+			got := r.View()
+			if len(got) != len(want) {
+				t.Fatalf("cap=%d step=%d: View len=%d want %d", capacity, i, len(got), len(want))
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("cap=%d step=%d: View[%d]=%v want %v", capacity, i, j, got[j], want[j])
+				}
+			}
+			if r.Total() != len(hist) {
+				t.Fatalf("cap=%d: Total=%d want %d", capacity, r.Total(), len(hist))
+			}
+			if r.Len() != len(want) {
+				t.Fatalf("cap=%d: Len=%d want %d", capacity, r.Len(), len(want))
+			}
+		}
+	}
+}
+
+func TestRingTail(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 12; i++ {
+		r.Push(float64(i))
+	}
+	// Retained: 7 8 9 10 11.
+	got := r.Tail(3)
+	if len(got) != 3 || got[0] != 9 || got[2] != 11 {
+		t.Fatalf("Tail(3) = %v", got)
+	}
+	if n := len(r.Tail(99)); n != 5 {
+		t.Fatalf("Tail(99) len = %d, want 5", n)
+	}
+}
+
+func TestRingUnbounded(t *testing.T) {
+	r := New(0)
+	if r.Bounded() {
+		t.Fatal("capacity 0 must be unbounded")
+	}
+	for i := 0; i < 100; i++ {
+		r.Push(float64(i))
+	}
+	if r.Len() != 100 || r.Total() != 100 || len(r.View()) != 100 {
+		t.Fatalf("unbounded: Len=%d Total=%d view=%d", r.Len(), r.Total(), len(r.View()))
+	}
+	if r.View()[99] != 99 {
+		t.Fatalf("unbounded tail sample = %v", r.View()[99])
+	}
+
+	// The zero value is an unbounded window too.
+	var z Ring
+	z.Push(1.5)
+	if z.Len() != 1 || z.View()[0] != 1.5 {
+		t.Fatalf("zero-value ring: Len=%d view=%v", z.Len(), z.View())
+	}
+}
+
+func TestRingReset(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 9; i++ {
+		r.Push(float64(i))
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Total() != 0 || len(r.View()) != 0 {
+		t.Fatalf("after Reset: Len=%d Total=%d view=%d", r.Len(), r.Total(), len(r.View()))
+	}
+	r.Push(42)
+	if v := r.View(); len(v) != 1 || v[0] != 42 {
+		t.Fatalf("push after reset: %v", v)
+	}
+
+	u := New(0)
+	u.Push(1)
+	u.Reset()
+	if u.Len() != 0 {
+		t.Fatal("unbounded reset must clear")
+	}
+}
+
+// TestRingSteadyStateZeroAllocs pins the memory contract: once warm, a
+// bounded ring's Push and View never allocate.
+func TestRingSteadyStateZeroAllocs(t *testing.T) {
+	r := New(40)
+	for i := 0; i < 80; i++ {
+		r.Push(float64(i))
+	}
+	var sink float64
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Push(3.5)
+		v := r.View()
+		sink += v[len(v)-1]
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Push+View allocs = %v, want 0", allocs)
+	}
+	_ = sink
+}
+
+// TestRingBoundedMemory: the backing array never grows past 2×capacity,
+// no matter how long the replay — the O(window) memory claim itself.
+func TestRingBoundedMemory(t *testing.T) {
+	const capacity = 40
+	r := New(capacity)
+	for i := 0; i < 43200; i++ { // a month of minutes
+		r.Push(float64(i % 97))
+	}
+	if got := cap(r.buf); got != 2*capacity {
+		t.Fatalf("backing capacity = %d, want %d", got, 2*capacity)
+	}
+	if r.Len() != capacity || r.Total() != 43200 {
+		t.Fatalf("Len=%d Total=%d", r.Len(), r.Total())
+	}
+}

@@ -38,12 +38,23 @@ go test -run xxx -bench 'BenchmarkDecide|BenchmarkBuildCurve|BenchmarkSimulateWo
 go test -run xxx -bench 'BenchmarkRandomSearchParallel' -benchtime 1x -benchmem ./internal/tuning/
 go test -run xxx -bench 'BenchmarkRunMatrixParallel' -benchtime 1x -benchmem ./internal/sim/
 
-# Optional stage: capture full benchmark numbers to BENCH_sim.json for
-# cross-commit diffing. Off by default (it costs real benchtime); enable
-# with CHECK_BENCH=1 make check.
+# Optional stage: capture full benchmark numbers to BENCH_sim.json and
+# diff them against the previous capture (scripts/benchdiff fails on >10%
+# ns/op or any allocs/op regression). Off by default (it costs real
+# benchtime); enable with CHECK_BENCH=1 make check.
 if [ "${CHECK_BENCH:-0}" = "1" ]; then
     echo "==> benchmark capture (scripts/bench.sh -> BENCH_sim.json)"
+    PREV=""
+    if [ -f BENCH_sim.json ]; then
+        PREV="$(mktemp)"
+        cp BENCH_sim.json "$PREV"
+    fi
     sh scripts/bench.sh
+    if [ -n "$PREV" ]; then
+        echo "==> benchmark regression diff (scripts/benchdiff)"
+        sh scripts/benchdiff "$PREV" BENCH_sim.json
+        rm -f "$PREV"
+    fi
 fi
 
 echo "==> OK"
