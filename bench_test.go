@@ -418,33 +418,140 @@ func benchFleetSpecs(b *testing.B, n, minutes int) ([]caasper.TenantSpec, caaspe
 	return specs, opts
 }
 
+// benchFleet runs the shared fleet benchmark body under the given engine,
+// reporting tenant_minutes/s.
+func benchFleet(b *testing.B, tenants, minutes int, engine string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		specs, opts := benchFleetSpecs(b, tenants, minutes)
+		opts.Engine = engine
+		if _, err := caasper.RunFleet(specs, opts); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(tenants*minutes*(i+1))/b.Elapsed().Seconds(), "tenant_minutes/s")
+	}
+}
+
 // BenchmarkFleetTick measures the fleet controller's steady tick cost at
 // 1000 tenants: one op replays a 1-hour horizon (60 000 tenant-minutes),
 // exercising the segment-batched observe phase and the sequential
 // arbitration phase.
 func BenchmarkFleetTick(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		specs, opts := benchFleetSpecs(b, 1000, 60)
-		if _, err := caasper.RunFleet(specs, opts); err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(float64(1000*60*(i+1))/b.Elapsed().Seconds(), "tenant_minutes/s")
-	}
+	benchFleet(b, 1000, 60, caasper.FleetEngineStepped)
 }
 
-// BenchmarkFleetWeek1k is the headline scale demonstration: 1000 tenants
+// BenchmarkFleetTickEvents is BenchmarkFleetTick under the discrete-event
+// engine. The workday traces are noisy (minute-length constant runs), so
+// this bounds the event engine's overhead on its worst-case input rather
+// than showing its best case — see BenchmarkFleetMonth100k for that.
+func BenchmarkFleetTickEvents(b *testing.B) {
+	benchFleet(b, 1000, 60, caasper.FleetEngineEvents)
+}
+
+// BenchmarkFleetWeek1k is a headline scale demonstration: 1000 tenants
 // replayed over one full week (10.08 M tenant-minutes per op). heap_sys_MB
 // reports the Go heap footprint after the run — with O(window) recommender
 // state it stays bounded by the traces and per-tenant fixtures, not the
 // replay length.
 func BenchmarkFleetWeek1k(b *testing.B) {
-	const minutes = 7 * 24 * 60
+	benchFleet(b, 1000, 7*24*60, caasper.FleetEngineStepped)
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	b.ReportMetric(float64(ms.Sys)/(1<<20), "heap_sys_MB")
+}
+
+// BenchmarkFleetWeek1kEvents is BenchmarkFleetWeek1k under the
+// discrete-event engine (same noisy-trace caveat as
+// BenchmarkFleetTickEvents).
+func BenchmarkFleetWeek1kEvents(b *testing.B) {
+	benchFleet(b, 1000, 7*24*60, caasper.FleetEngineEvents)
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	b.ReportMetric(float64(ms.Sys)/(1<<20), "heap_sys_MB")
+}
+
+// benchMonthSpecs builds the 100 000-tenant month fleet: 24 shared
+// piecewise-constant day-shaped traces (a 9-hour busy plateau over a quiet
+// baseline, phase-staggered per variant, two inflections per day) and a
+// cluster sized for one pod per tenant with scale-up head-room. The levels
+// are chosen so each plateau has a fixed-point limit inside the
+// recommender's hold band: tenants resize once per inflection, then sleep
+// until the next one — the discrete-event engine's intended regime.
+func benchMonthSpecs(b *testing.B, n, minutes int) ([]caasper.TenantSpec, caasper.FleetOptions) {
+	b.Helper()
+	const variants = 24
+	traces := make([]*caasper.Trace, variants)
+	for v := range traces {
+		low := 0.5 + 0.05*float64(v%8)
+		high := 2.2 + 0.06*float64(v%8)
+		// Plateau edges land one minute after a decision tick, staggered
+		// per variant: a woken tenant then sees nine new-level samples at
+		// its first tick instead of one, minimising ticks spent mixed.
+		start := (421 + 40*v) % 1440
+		vals := make([]float64, minutes)
+		for m := range vals {
+			mm := m % 1440
+			busy := mm-start >= 0 && mm-start < 540 ||
+				mm+1440-start < 540 // plateau wraps past midnight
+			if busy {
+				vals[m] = high
+			} else {
+				vals[m] = low
+			}
+		}
+		traces[v] = caasper.NewTrace(fmt.Sprintf("month-%02d", v), time.Minute, vals)
+	}
+	specs := make([]caasper.TenantSpec, n)
+	for i := range specs {
+		specs[i] = caasper.TenantSpec{
+			Name:  fmt.Sprintf("t%05d", i),
+			Trace: traces[i%variants],
+			NewRecommender: func() (caasper.Recommender, error) {
+				// A 20-minute window re-saturates two decision ticks after
+				// each inflection, bounding the awake ticks per plateau.
+				return caasper.NewReactive(caasper.DefaultConfig(4), 20)
+			},
+			InitialCores: 1,
+			MinCores:     1,
+			MaxCores:     4,
+			Replicas:     1,
+			MemGiBPerPod: 1,
+		}
+	}
+	nodes := make([]*k8s.Node, 128)
+	for i := range nodes {
+		nodes[i] = k8s.NewNode(fmt.Sprintf("bench-node-%03d", i), 4096, 8192)
+	}
+	cluster, err := k8s.NewCluster(nodes...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := caasper.DefaultFleetOptions()
+	opts.Cluster = cluster
+	opts.Minutes = minutes
+	// Daily billing periods keep the per-tenant metering state at 30
+	// periods over the month instead of 720.
+	opts.BillingPeriod = 24 * time.Hour
+	return specs, opts
+}
+
+// BenchmarkFleetMonth100k is the discrete-event engine's headline: 100 000
+// tenants replayed over a full month (4.32 B tenant-minutes per op). The
+// stepped engine executes every tenant every minute; the event engine wakes
+// each tenant only around its two daily inflections and sleeps it through
+// the plateaus, so the month completes in well under a minute on one
+// machine. (The stepped engine on this configuration is ~2 orders of
+// magnitude slower — run it via `caasper-fleet -engine stepped` if you want
+// the direct comparison.)
+func BenchmarkFleetMonth100k(b *testing.B) {
+	const tenants, minutes = 100_000, 43_200
 	for i := 0; i < b.N; i++ {
-		specs, opts := benchFleetSpecs(b, 1000, minutes)
+		specs, opts := benchMonthSpecs(b, tenants, minutes)
+		opts.Engine = caasper.FleetEngineEvents
 		if _, err := caasper.RunFleet(specs, opts); err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(float64(1000*minutes*(i+1))/b.Elapsed().Seconds(), "tenant_minutes/s")
+		b.ReportMetric(float64(tenants)*minutes*float64(i+1)/b.Elapsed().Seconds(), "tenant_minutes/s")
 	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)

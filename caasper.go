@@ -477,6 +477,15 @@ type FleetResult = fleet.Result
 // FleetTenantResult is one tenant's outcome within a FleetResult.
 type FleetTenantResult = fleet.TenantResult
 
+// Fleet tick engines, for FleetOptions.Engine: the minute-stepped
+// reference engine (also selected by "") and the discrete-event engine,
+// which produces byte-identical results and event streams while scaling
+// with trace inflections and decision ticks instead of simulated minutes.
+const (
+	FleetEngineStepped = fleet.EngineStepped
+	FleetEngineEvents  = fleet.EngineEvents
+)
+
 // DefaultFleetOptions returns the fleet defaults: 10-minute decisions,
 // hourly billing, shortest-trace horizon.
 func DefaultFleetOptions() FleetOptions { return fleet.DefaultOptions() }

@@ -9,6 +9,8 @@
 //	caasper-fleet -tenants 16 -minutes 240
 //	caasper-fleet -tenants 8 -recommender caasper,vpa -cluster small
 //	caasper-fleet -tenants 16 -minutes 240 -workers 8 -events fleet.ndjson
+//	caasper-fleet -tenants 100000 -minutes 43200 -engine events
+//	caasper-fleet -tenants 1000 -minutes 10080 -cpuprofile fleet.pprof
 //
 // Chaos runs inject deterministic faults into every tenant plus
 // fleet-wide scheduling pressure (fault times are in minutes, the fleet's
@@ -20,7 +22,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -46,6 +51,9 @@ func main() {
 		seed         = flag.Uint64("seed", 1, "workload seed base (tenant i uses seed+i)")
 		faultSpecStr = flag.String("faults", "", `fault-injection spec, e.g. "restart-fail:p=0.2,metrics-gap:p=0.05,sched-pressure:p=0.5:dur=60:cores=4" (times in minutes; empty: fault-free)`)
 		faultSeed    = flag.Uint64("fault-seed", 1, "fault-injection seed (same seed, same faults, byte-identical stream)")
+		engine       = flag.String("engine", "stepped", "tick engine: stepped (minute-by-minute reference) or events (discrete-event wake queue; byte-identical output)")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the fleet run to this file")
 	)
 	var cli obs.CLIConfig
 	cli.Register(flag.CommandLine)
@@ -56,6 +64,15 @@ func main() {
 		fatal(err)
 	}
 	defer session.Finish(os.Stdout)
+
+	if *pprofAddr != "" {
+		go func() {
+			session.Log.Infof("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				session.Log.Errorf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	if *tenantCount < 1 {
 		fatal(fmt.Errorf("-tenants must be ≥ 1"))
@@ -113,9 +130,22 @@ func main() {
 	}
 	opts.FaultSpec = spec
 	opts.FaultSeed = *faultSeed
+	opts.Engine = *engine
 
-	fmt.Printf("fleet: %d tenants on the %s cluster (workloads %s; policies %s)\n",
-		len(tenants), *clusterName, strings.Join(wnames, ","), strings.Join(rnames, ","))
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	fmt.Printf("fleet: %d tenants on the %s cluster (workloads %s; policies %s; %s engine)\n",
+		len(tenants), *clusterName, strings.Join(wnames, ","), strings.Join(rnames, ","), *engine)
 	start := time.Now()
 	res, err := caasper.RunFleet(tenants, opts)
 	if err != nil {

@@ -46,6 +46,15 @@ func (c *Control) Recommend(int) int { return c.Cores }
 // Reset implements recommend.Recommender.
 func (c *Control) Reset() {}
 
+// ObserveRun implements recommend.RunObserver: Observe is a no-op, so the
+// bulk form is too.
+func (c *Control) ObserveRun(int, float64, int) {}
+
+// SteadyObserving implements recommend.SteadyObserver: fixed limits hold
+// no observation state at all, so every future recommendation is the same
+// constant regardless of what is observed.
+func (c *Control) SteadyObserving(float64) bool { return true }
+
 // KubernetesVPAOptions configures the default-VPA baseline.
 type KubernetesVPAOptions struct {
 	// Percentile is the histogram percentile used for the requests
@@ -100,6 +109,12 @@ func NewKubernetesVPA(opts KubernetesVPAOptions) (*KubernetesVPA, error) {
 func (v *KubernetesVPA) Name() string { return "k8s-vpa" }
 
 // Observe implements recommend.Recommender.
+//
+// The histogram decays by sample timestamp, so Observe genuinely depends
+// on the minute — this baseline deliberately implements neither
+// recommend.RunObserver nor recommend.SteadyObserver: equal usage at
+// different minutes lands with different decayed weights, and further
+// equal observations keep shifting the percentile.
 func (v *KubernetesVPA) Observe(minute int, usageCores float64) {
 	v.hist.Add(usageCores, 1, float64(minute))
 }
@@ -201,6 +216,25 @@ func (o *OpenShiftVPA) Observe(_ int, usageCores float64) {
 	o.history.Push(usageCores)
 }
 
+// ObserveRun implements recommend.RunObserver: Observe ignores the minute
+// and only pushes into the ring, so the bulk form is a bulk ring append.
+func (o *OpenShiftVPA) ObserveRun(_ int, usageCores float64, n int) {
+	if n <= 0 {
+		return
+	}
+	o.history.PushRun(usageCores, n)
+}
+
+// SteadyObserving implements recommend.SteadyObserver: Recommend is a pure
+// function of the ring view (LinearFit over a constant x-axis), so once
+// the bounded lookback window is saturated with nothing but u, further
+// equal observations cannot change any future recommendation.
+func (o *OpenShiftVPA) SteadyObserving(usageCores float64) bool {
+	return o.history.Bounded() &&
+		o.history.Total() >= o.history.Cap() &&
+		o.history.AllEqual(usageCores)
+}
+
 // Recommend implements recommend.Recommender.
 func (o *OpenShiftVPA) Recommend(currentCores int) int {
 	// The ring retains min(total, Lookback) samples — exactly the
@@ -278,6 +312,24 @@ func (a *Autopilot) Name() string { return "autopilot-max" }
 // Observe implements recommend.Recommender.
 func (a *Autopilot) Observe(_ int, usageCores float64) {
 	a.history.Push(usageCores)
+}
+
+// ObserveRun implements recommend.RunObserver: Observe ignores the minute
+// and only pushes into the ring, so the bulk form is a bulk ring append.
+func (a *Autopilot) ObserveRun(_ int, usageCores float64, n int) {
+	if n <= 0 {
+		return
+	}
+	a.history.PushRun(usageCores, n)
+}
+
+// SteadyObserving implements recommend.SteadyObserver: Recommend is a pure
+// function of the ring view (max plus margin), so a saturated window
+// holding nothing but u pins every future recommendation.
+func (a *Autopilot) SteadyObserving(usageCores float64) bool {
+	return a.history.Bounded() &&
+		a.history.Total() >= a.history.Cap() &&
+		a.history.AllEqual(usageCores)
 }
 
 // Recommend implements recommend.Recommender.

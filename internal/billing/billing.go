@@ -61,6 +61,29 @@ func (m *Meter) Record(limitsCores float64) {
 	}
 }
 
+// RecordN registers the same provisioned limits for n consecutive sample
+// intervals — the bulk form the discrete-event fleet engine uses when the
+// limit is provably constant across a span. The resulting meter state is
+// identical to n sequential Record calls, but the cost is O(periods
+// touched) instead of O(n): the peak comparison happens once per period
+// and whole periods at a constant limit close immediately.
+func (m *Meter) RecordN(limitsCores float64, n int) {
+	for n > 0 {
+		if limitsCores > m.peakThisPeriod {
+			m.peakThisPeriod = limitsCores
+		}
+		take := m.samplesPerPeriod - m.sampleInPeriod
+		if take > n {
+			take = n
+		}
+		m.sampleInPeriod += take
+		n -= take
+		if m.sampleInPeriod == m.samplesPerPeriod {
+			m.closePeriod()
+		}
+	}
+}
+
 func (m *Meter) closePeriod() {
 	m.periods = append(m.periods, m.peakThisPeriod)
 	m.peakThisPeriod = 0

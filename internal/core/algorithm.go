@@ -124,20 +124,79 @@ type Scratch struct {
 	curve pvp.Curve
 	exp   []byte
 
+	// expKind/expPeak record which prose template the last full
+	// evaluation would have produced and the one operand (the observed
+	// peak) the Decision struct does not carry. Explanation() rebuilds
+	// the string from them on demand; the decision hot path never touches
+	// strconv.
+	expKind expKind
+	expPeak float64
+
 	memoValid bool
 	memoCores int
 	memoClean []float64
 	memoDec   Decision
 }
 
+// expKind discriminates the prose templates of Explanation(). Branch
+// alone cannot: three distinct hold explanations share BranchHold.
+type expKind uint8
+
+const (
+	expNone expKind = iota
+	expScaleUp
+	expWalkDown
+	expHoldNoCheaper // flat tail but no cheaper SKU clears the buffered peak
+	expScaleDown
+	expHoldQuantile // down-trigger fired but the buffered quantile forbids it
+	expHoldDefault
+)
+
 // Explanation materialises the prose account of the scratch's most recent
-// successful decision ("" before the first one). DecideScratch builds the
-// explanation into a reusable byte buffer but defers the string
-// conversion — the one allocation the steady-state loop would otherwise
-// make per tick — to this accessor, which only interpretability surfaces
-// (Explainer.Explain, the one-shot Decide wrappers) call. The result is
+// successful decision ("" before the first one). DecideScratch records
+// only which template applies (and the one operand the Decision does not
+// carry); this accessor — called by the interpretability surfaces
+// (Explainer.Explain, the one-shot Decide wrappers) and nothing on the
+// steady-state loop — formats the string from the memoised decision, so
+// the hot path pays neither strconv nor the allocation. The result is
 // only valid until the next decision on this scratch.
-func (s *Scratch) Explanation() string { return string(s.exp) }
+func (s *Scratch) Explanation() string {
+	if s.owner == nil || s.expKind == expNone {
+		return ""
+	}
+	cfg := s.owner.cfg
+	d := s.memoDec
+	capf := float64(d.CurrentCores)
+	e := expBuilder{b: s.exp[:0]}
+	switch s.expKind {
+	case expScaleUp:
+		e.str("scale-up: slope ").f2(d.Slope).str(" (threshold ").f2(cfg.SlopeHigh).
+			str("), P").f0(cfg.QuantileP * 100).str(" usage ").f2(d.Quantile).
+			str(" of ").num(d.CurrentCores).str(" cores (buffer threshold ").f2((1 - cfg.SlackHigh) * capf).
+			str("); SF ").f2(d.RawSF).str(" → +").num(d.TargetCores - d.CurrentCores).str(" cores")
+	case expWalkDown:
+		e.str("walk-down: flat PvP tail at ").num(d.CurrentCores).str(" cores (peak usage ").f2(s.expPeak).
+			str("); cheapest SKU meeting ").f0(cfg.WalkDownPerfTarget * 100).
+			str("% performance is ").num(d.TargetCores).str(" cores")
+	case expHoldNoCheaper:
+		e.str("hold: flat PvP tail at ").num(d.CurrentCores).
+			str(" cores but no cheaper SKU clears the buffered peak ").f2(s.expPeak)
+	case expScaleDown:
+		e.str("scale-down: slope ").f2(d.Slope).str(" ≤ ").f2(cfg.SlopeLow).
+			str(" or P").f0(cfg.QuantileP * 100).str(" usage ").f2(d.Quantile).
+			str(" ≤ ").f2(cfg.SlackLow * capf).str(" (idle threshold); SF ").f2(d.RawSF).
+			str(" → -").num(d.CurrentCores - d.TargetCores).str(" cores")
+	case expHoldQuantile:
+		e.str("hold: down-trigger fired but buffered quantile ").f2(d.Quantile).
+			str(" forbids shrinking below ").num(d.CurrentCores).str(" cores")
+	case expHoldDefault:
+		e.str("hold: slope ").f2(d.Slope).str(" within (").f2(cfg.SlopeLow).str(", ").f2(cfg.SlopeHigh).
+			str(") and P").f0(cfg.QuantileP * 100).str(" usage ").f2(d.Quantile).
+			str(" within slack bands of ").num(d.CurrentCores).str(" cores")
+	}
+	s.exp = e.b
+	return string(s.exp)
+}
 
 // emitDecision writes the per-evaluation audit event. Callers guard on
 // Sink being enabled so the disabled path costs one branch.
@@ -264,12 +323,7 @@ func (r *Recommender) DecideScratch(sc *Scratch, currentCores int, usage []float
 		}
 		d.Branch = BranchScaleUp
 		d.TargetCores = r.guardrail(target)
-		e := expBuilder{b: sc.exp[:0]}
-		e.str("scale-up: slope ").f2(s).str(" (threshold ").f2(cfg.SlopeHigh).
-			str("), P").f0(cfg.QuantileP * 100).str(" usage ").f2(q).
-			str(" of ").num(xc).str(" cores (buffer threshold ").f2((1 - cfg.SlackHigh) * capf).
-			str("); SF ").f2(rawSF).str(" → +").num(d.TargetCores - xc).str(" cores")
-		sc.exp = e.b
+		sc.expKind = expScaleUp
 
 	// Lines 10–13: scale down when the slope is flat or most capacity
 	// is idle; on a flat tail, walk the curve down in one move.
@@ -288,18 +342,14 @@ func (r *Recommender) DecideScratch(sc *Scratch, currentCores int, usage []float
 			}
 			d.Branch = BranchWalkDown
 			d.TargetCores = r.guardrail(target)
-			e := expBuilder{b: sc.exp[:0]}
 			if d.TargetCores >= xc {
 				d.Branch = BranchHold
 				d.TargetCores = xc
-				e.str("hold: flat PvP tail at ").num(xc).
-					str(" cores but no cheaper SKU clears the buffered peak ").f2(peak)
+				sc.expKind = expHoldNoCheaper
 			} else {
-				e.str("walk-down: flat PvP tail at ").num(xc).str(" cores (peak usage ").f2(peak).
-					str("); cheapest SKU meeting ").f0(cfg.WalkDownPerfTarget * 100).
-					str("% performance is ").num(d.TargetCores).str(" cores")
+				sc.expKind = expWalkDown
 			}
-			sc.exp = e.b
+			sc.expPeak = peak
 		} else {
 			step := r.roundSF(rawSF)
 			if step < 1 {
@@ -318,20 +368,14 @@ func (r *Recommender) DecideScratch(sc *Scratch, currentCores int, usage []float
 				target = xc
 			}
 			d.TargetCores = r.guardrail(target)
-			e := expBuilder{b: sc.exp[:0]}
 			if d.TargetCores < xc {
 				d.Branch = BranchScaleDown
-				e.str("scale-down: slope ").f2(s).str(" ≤ ").f2(cfg.SlopeLow).
-					str(" or P").f0(cfg.QuantileP * 100).str(" usage ").f2(q).
-					str(" ≤ ").f2(cfg.SlackLow * capf).str(" (idle threshold); SF ").f2(rawSF).
-					str(" → -").num(xc - d.TargetCores).str(" cores")
+				sc.expKind = expScaleDown
 			} else {
 				d.Branch = BranchHold
 				d.TargetCores = xc
-				e.str("hold: down-trigger fired but buffered quantile ").f2(q).
-					str(" forbids shrinking below ").num(xc).str(" cores")
+				sc.expKind = expHoldQuantile
 			}
-			sc.exp = e.b
 		}
 
 	// Between thresholds: hold (the paper's R3 penalises needless
@@ -339,11 +383,7 @@ func (r *Recommender) DecideScratch(sc *Scratch, currentCores int, usage []float
 	default:
 		d.Branch = BranchHold
 		d.TargetCores = xc
-		e := expBuilder{b: sc.exp[:0]}
-		e.str("hold: slope ").f2(s).str(" within (").f2(cfg.SlopeLow).str(", ").f2(cfg.SlopeHigh).
-			str(") and P").f0(cfg.QuantileP * 100).str(" usage ").f2(q).
-			str(" within slack bands of ").num(xc).str(" cores")
-		sc.exp = e.b
+		sc.expKind = expHoldDefault
 	}
 
 	d.Delta = d.TargetCores - d.CurrentCores

@@ -377,6 +377,48 @@ func (in *Injector) PressureCores(now int64) float64 {
 	return f.Cores
 }
 
+// Has reports whether the injector's spec includes the given fault kind
+// (false for nil). Engines that batch time use it to decide which per-
+// minute hooks genuinely need a draw per minute (metrics-gap) and which
+// can be advanced analytically.
+func (in *Injector) Has(k Kind) bool {
+	if in == nil {
+		return false
+	}
+	_, ok := in.spec.Get(k)
+	return ok
+}
+
+// AdvancePressure replays the per-minute scheduling-pressure poll over
+// [from, to) with one PressureCores query per pressure window instead of
+// one per minute, returning the pressure in effect at time to−1. The
+// draw, the window counts and the activation-edge events are identical to
+// minute-by-minute polling because PressureCores keys everything on the
+// window index (now/Dur) and emits the edge at the window boundary — any
+// representative minute inside a window produces the same stream. This is
+// the pre-scheduled form of the sched-pressure fault the discrete-event
+// fleet engine uses to skip idle spans without perturbing the golden
+// event stream. A nil injector or a spec without sched-pressure returns 0
+// without drawing, matching the per-minute loop's behaviour.
+func (in *Injector) AdvancePressure(from, to int64) float64 {
+	if in == nil || to <= from {
+		return 0
+	}
+	f, ok := in.spec.Get(SchedPressure)
+	if !ok {
+		return 0
+	}
+	p := 0.0
+	for w := from / f.Dur; w <= (to-1)/f.Dur; w++ {
+		m := w * f.Dur
+		if m < from {
+			m = from
+		}
+		p = in.PressureCores(m)
+	}
+	return p
+}
+
 // Summary renders the chaos section of an end-of-run report ("" for a
 // nil injector).
 func (in *Injector) Summary() string {

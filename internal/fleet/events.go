@@ -1,0 +1,359 @@
+// Discrete-event fleet engine (Options.Engine == EngineEvents).
+//
+// The stepped engine costs O(minutes × tenants): every tenant executes
+// every simulated minute even when nothing about it can change. But a
+// tenant's observable behaviour only changes at a handful of instants —
+// its decision ticks, its trace's inflection points (the starts of
+// constant-demand runs), and pressure-window boundaries of the fleet-level
+// fault injector. Between those instants the demand, the limit, the
+// observed usage and therefore every accumulator update are all constant,
+// which makes the in-between minutes pure arithmetic.
+//
+// This engine exploits that: a virtual clock jumps from decision tick to
+// decision tick through a binary-heap wake queue keyed on (minute, tenant
+// index). A tenant woken at tick d first catches up analytically — its
+// trace is walked run by run (trace.RunStarts), observation windows are
+// advanced with one bulk ring append per run (recommend.RunObserver),
+// accounting loops run as tight constant-operand sums (preserving the
+// stepped engine's exact float rounding), and billing advances whole
+// periods at a time (billing.Meter.RecordN). It then decides exactly as
+// the stepped engine would and computes its next wake-up:
+//
+//   - a tenant that filed a proposal, or whose recommender cannot prove
+//     steadiness, wakes at the very next decision tick;
+//   - a tenant that filed nothing and whose recommender reports
+//     SteadyObserving(u) — a saturated window of nothing but the current
+//     usage u, with a pure Recommend — provably re-decides "hold" at every
+//     tick until its demand next changes, so it sleeps until the first
+//     decision tick at or after its trace's next inflection point.
+//
+// Fault draws are (seed, kind, pod, time)-keyed and stateless, so skipped
+// minutes draw identically when caught up later: metrics-gap tenants
+// replay their per-minute sample draws inside the catch-up walk, and the
+// fleet-level scheduling pressure advances one poll per window
+// (faults.Injector.AdvancePressure). Per-tenant fault events land in the
+// same per-tenant buffers the stepped engine uses, so the replayed NDJSON
+// stream is byte-identical, at every worker count.
+package fleet
+
+import (
+	"context"
+
+	"caasper/internal/faults"
+	"caasper/internal/parallel"
+	"caasper/internal/recommend"
+	"caasper/internal/trace"
+)
+
+// wakeEntry is one pending wake-up: tenant idx runs at minute at.
+type wakeEntry struct {
+	at  int32
+	idx int32
+}
+
+// wakeHeap is a binary min-heap of wake-ups ordered by (at, idx). The
+// secondary key makes same-tick pops emerge in ascending tenant order, so
+// the awake list needs no post-sort to match the stepped engine's
+// index-ordered walk.
+type wakeHeap []wakeEntry
+
+func wakeLess(a, b wakeEntry) bool {
+	return a.at < b.at || (a.at == b.at && a.idx < b.idx)
+}
+
+func (h *wakeHeap) push(e wakeEntry) {
+	*h = append(*h, e)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !wakeLess(q[i], q[p]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+}
+
+func (h *wakeHeap) pop() wakeEntry {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	*h = q[:n]
+	q = q[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && wakeLess(q[l], q[m]) {
+			m = l
+		}
+		if r < n && wakeLess(q[r], q[m]) {
+			m = r
+		}
+		if m == i {
+			return top
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
+}
+
+// nextDecisionAt returns the first decision minute ≥ m within the horizon,
+// or −1 when the replay ends first — the same arithmetic the stepped
+// engine uses to bound its segments (first minute ≥ max(m, warmup) with
+// (minute − warmup) divisible by the cadence).
+func (s *runState) nextDecisionAt(m int) int {
+	nd := s.warmup
+	if m > s.warmup {
+		nd = s.warmup + (m-s.warmup+s.d-1)/s.d*s.d
+	}
+	if nd >= s.minutes {
+		return -1
+	}
+	return nd
+}
+
+// runEvents is the discrete-event engine loop. See the file comment for
+// the design and the equivalence argument.
+func (s *runState) runEvents() error {
+	ts := s.ts
+	ctx := context.Background()
+
+	// Trace run starts are shared: fleets commonly replay a few workload
+	// shapes across many tenants, so the inflection scan runs once per
+	// distinct trace, not once per tenant.
+	runsByTrace := make(map[*trace.Trace][]int32)
+	for _, t := range ts {
+		r, ok := runsByTrace[t.spec.Trace]
+		if !ok {
+			r = t.spec.Trace.RunStarts()
+			runsByTrace[t.spec.Trace] = r
+		}
+		t.runs = r
+		t.gap = t.inj.Has(faults.MetricsGap)
+		t.bulk, _ = t.rec.(recommend.RunObserver)
+		t.steady, _ = t.rec.(recommend.SteadyObserver)
+		// The limit is cached on the tenant: chasing set → pod → spec is
+		// two dependent cache misses per wake at fleet scale, and only a
+		// phase-2 enactment — which requires a proposal from an awake
+		// tenant — can change it.
+		t.lim = t.set.CPULimit()
+	}
+
+	var heap wakeHeap
+	if d0 := s.nextDecisionAt(0); d0 >= 0 {
+		// Every tenant's first wake is the first decision tick. Equal keys
+		// in index order are already a valid min-heap.
+		heap = make(wakeHeap, len(ts))
+		for i := range ts {
+			heap[i] = wakeEntry{at: int32(d0), idx: int32(i)}
+		}
+	}
+
+	// clock tracks fleet-level pressure coverage: windows overlapping
+	// [0, clock) have been polled, in order, exactly once.
+	clock := 0
+	pressure := 0.0
+	awake := make([]int, 0, len(ts))
+
+	for len(heap) > 0 {
+		d := int(heap[0].at)
+		awake = awake[:0]
+		for len(heap) > 0 && int(heap[0].at) == d {
+			awake = append(awake, int(heap.pop().idx))
+		}
+
+		// Catch the fleet-level scheduling pressure up through the
+		// decision minute — one draw per window, same stream as the
+		// stepped engine's per-minute polling. Pressure edges for minutes
+		// ≤ d are emitted before this tick's phase-2 events, exactly as
+		// the stepped segment prologue interleaves them.
+		if s.finj != nil {
+			pressure = s.finj.AdvancePressure(int64(clock), int64(d+1))
+			s.cluster.SetPressure(pressure)
+		}
+		clock = d + 1
+
+		// Severity is defined as the insufficiency since the previous
+		// decision tick — even for tenants that slept through it — so
+		// catch-up accumulates it only from sevFrom on.
+		sevFrom := d - s.d + 1
+		if d == s.warmup {
+			sevFrom = 0 // first decision: severity covers the warm-up
+		}
+
+		// Phase 1 — parallel catch-up + decide over the awake tenants
+		// only. Each task touches one tenant's state; sleeping tenants are
+		// untouched and, by the sleep contract, unchanged.
+		err := parallel.ForEach(ctx, len(awake), s.workers, func(k int) error {
+			t := ts[awake[k]]
+			t.advanceTo(d+1, sevFrom)
+			limit := t.lim
+			t.hasProp = false
+			t.decide(limit)
+			t.computeWake(s, d, limit)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+
+		// Phase 2 — sequential, over the awake subset (ascending index,
+		// courtesy of the heap's secondary key). Tenants asleep at d hold
+		// no proposal, so the stepped engine's full walk degenerates to
+		// exactly this subset.
+		s.enactPhase(awake, pressure, d)
+
+		for _, i := range awake {
+			t := ts[i]
+			if t.hasProp {
+				// Only proposers can have been resized by enactPhase
+				// (granted, deferred or fault-aborted — re-read either way).
+				t.lim = t.set.CPULimit()
+			}
+			if w := t.wakeAt; w >= 0 {
+				heap.push(wakeEntry{at: int32(w), idx: int32(i)})
+			}
+		}
+	}
+
+	// Horizon epilogue: finish the pressure coverage and account every
+	// tenant's tail minutes after its last wake. Severity after the final
+	// decision is never read, so catch-up skips it (sevFrom = minutes).
+	if s.finj != nil && clock < s.minutes {
+		pressure = s.finj.AdvancePressure(int64(clock), int64(s.minutes))
+		s.cluster.SetPressure(pressure)
+	}
+	return parallel.ForEach(ctx, len(ts), s.workers, func(i int) error {
+		ts[i].advanceTo(s.minutes, s.minutes)
+		return nil
+	})
+}
+
+// advanceTo replays the tenant's minutes [done, end) analytically, run by
+// run. Within one constant-demand run the limit (only phase 2 changes it,
+// and this tenant filed no proposals while asleep), the usage and every
+// per-minute arithmetic operand are constant, so:
+//
+//   - the observation window advances with one bulk append (RunObserver) —
+//     unless the tenant has metrics-gap faults or a recommender without
+//     the bulk form, in which case the stepped engine's per-minute scrape
+//     loop runs verbatim (same draws, same events, same observations);
+//   - slack/insufficiency accumulate via tight constant-operand loops:
+//     repeated float64 addition has no closed form that reproduces the
+//     same rounding, and bit-equality with the stepped engine is the
+//     contract, so the adds happen one by one — just without the
+//     surrounding per-minute bookkeeping (the accumulator sequences per
+//     variable are identical because a run is entirely slack or entirely
+//     short, never both);
+//   - billing advances whole periods at a time (RecordN).
+//
+// Severity accumulates only for minutes ≥ sevFrom (the minute after the
+// previous decision tick): the stepped engine resets severity at every
+// tick, including ones this tenant slept through.
+func (t *tenant) advanceTo(end, sevFrom int) {
+	if t.done >= end {
+		return
+	}
+	limf := float64(t.lim)
+	vs := t.spec.Trace.Values
+	// The accumulators live in locals for the duration of the walk: the
+	// tight loops below are dependent float-add chains, and keeping them
+	// out of memory halves the per-minute cost. The add sequences are
+	// unchanged.
+	sumSlack := t.res.SumSlack
+	sumShort := t.res.SumInsufficient
+	sev := t.severity
+	for t.done < end {
+		now := t.done
+		for t.runCur+1 < len(t.runs) && int(t.runs[t.runCur+1]) <= now {
+			t.runCur++
+		}
+		re := len(vs)
+		if t.runCur+1 < len(t.runs) {
+			re = int(t.runs[t.runCur+1])
+		}
+		if re > end {
+			re = end
+		}
+		n := re - now
+		demand := vs[now]
+		usage := demand
+		if usage > limf {
+			usage = limf
+		}
+
+		if t.bulk == nil || t.gap {
+			// Per-minute scrape: metrics-gap draws are keyed per minute and
+			// must happen (counts, events), and a recommender without
+			// ObserveRun needs its per-minute calls.
+			for m := now; m < re; m++ {
+				observed := usage
+				if t.inj.DropSample(t.pod, int64(m)) {
+					observed = t.prevUsage
+				}
+				t.prevUsage = usage
+				t.rec.Observe(m, observed)
+			}
+		} else {
+			t.prevUsage = usage
+			t.bulk.ObserveRun(now, usage, n)
+		}
+
+		if slack := limf - usage; slack > 0 {
+			for k := 0; k < n; k++ {
+				sumSlack += slack
+			}
+		}
+		if short := demand - limf; short > 0 {
+			for k := 0; k < n; k++ {
+				sumShort += short
+			}
+			t.res.ThrottledMinutes += n
+			lo := now
+			if sevFrom > lo {
+				lo = sevFrom
+			}
+			for k := lo; k < re; k++ {
+				sev += short
+			}
+		}
+		t.meter.RecordN(limf, n)
+		t.done = re
+	}
+	t.res.SumSlack = sumSlack
+	t.res.SumInsufficient = sumShort
+	t.severity = sev
+}
+
+// computeWake sets the tenant's next wake minute after deciding at tick d.
+// The default is the next decision tick. The tenant may sleep past it only
+// when every skipped tick provably replays "hold": it filed no proposal at
+// d (so the limit stays put), its recommender asserts SteadyObserving(u)
+// for the current usage u (pure Recommend over a saturated all-u window),
+// and its demand — hence u — is constant until the trace's next inflection
+// point. Under those three facts each skipped tick sees the identical
+// (window, limit) input and yields the identical "hold", so the first tick
+// at which anything can differ is the first one at or after the next
+// inflection.
+func (t *tenant) computeWake(s *runState, d, limit int) {
+	t.wakeAt = s.nextDecisionAt(d + 1)
+	if t.wakeAt < 0 || t.hasProp || t.steady == nil {
+		return
+	}
+	limf := float64(limit)
+	u := t.spec.Trace.Values[d]
+	if u > limf {
+		u = limf
+	}
+	if !t.steady.SteadyObserving(u) {
+		return
+	}
+	ni := len(t.spec.Trace.Values) // no further inflection: sleep forever
+	if t.runCur+1 < len(t.runs) {
+		ni = int(t.runs[t.runCur+1])
+	}
+	t.wakeAt = s.nextDecisionAt(ni)
+}

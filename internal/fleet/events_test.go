@@ -1,0 +1,316 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"caasper/internal/baselines"
+	"caasper/internal/core"
+	"caasper/internal/errs"
+	"caasper/internal/faults"
+	"caasper/internal/k8s"
+	"caasper/internal/obs"
+	"caasper/internal/recommend"
+	"caasper/internal/trace"
+)
+
+// runEngine executes one fleet run capturing the result and the encoded
+// event stream.
+func runEngine(t *testing.T, specs []TenantSpec, opts Options, engine string, workers int) (*Result, string) {
+	t.Helper()
+	mem := obs.NewMemorySink()
+	opts.Engine = engine
+	opts.Workers = workers
+	opts.Events = mem
+	res, err := Run(specs, opts)
+	if err != nil {
+		t.Fatalf("engine=%s workers=%d: %v", engine, workers, err)
+	}
+	return res, encodeStream(mem)
+}
+
+// TestEventEngineEquivalenceChaos16 is the tentpole contract on the same
+// configuration scripts/fleet.sh pins as the chaos golden: a 16-tenant
+// heterogeneous fleet on the small cluster with restart-fail, metrics-gap
+// and sched-pressure faults all active. The event engine must reproduce
+// the stepped engine bit for bit — results and NDJSON stream — at every
+// worker count.
+func TestEventEngineEquivalenceChaos16(t *testing.T) {
+	spec, err := faults.ParseSpec("restart-fail:p=0.2,metrics-gap:p=0.05,sched-pressure:p=0.5:dur=60:cores=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Cluster = nil // reset per run below
+	opts.Minutes = 240
+	opts.FaultSpec = spec
+	opts.FaultSeed = 7
+
+	base, baseStream := runEngine(t, mixedFleet(t, 16), withSmallCluster(opts), EngineStepped, 1)
+	if base.TotalScalings == 0 {
+		t.Fatal("chaos fleet produced no scalings; traces too tame to prove anything")
+	}
+	for _, engine := range []string{EngineStepped, EngineEvents} {
+		for _, w := range []int{1, 4, 8} {
+			if engine == EngineStepped && w == 1 {
+				continue
+			}
+			res, stream := runEngine(t, mixedFleet(t, 16), withSmallCluster(opts), engine, w)
+			if !reflect.DeepEqual(base, res) {
+				t.Errorf("engine=%s workers=%d: result diverged:\n%s\nvs\n%s",
+					engine, w, base.Summary(), res.Summary())
+			}
+			if stream != baseStream {
+				t.Errorf("engine=%s workers=%d: event stream diverged", engine, w)
+			}
+		}
+	}
+}
+
+// withSmallCluster returns opts with a fresh small cluster (cluster state
+// is mutated by a run, so each run needs its own).
+func withSmallCluster(opts Options) Options {
+	opts.Cluster = k8s.SmallCluster()
+	return opts
+}
+
+// TestEventEngineEquivalenceRandomized64 fuzzes the equivalence over a
+// 64-tenant fleet with a fixed seed: piecewise-constant and noisy traces,
+// every recommender family (bulk-capable, steady-capable, per-minute-only,
+// and one that implements neither optional interface), 1–2 replicas, and
+// chaos faults. Any divergence between the engines' analytic and stepped
+// arithmetic shows up as a result or stream mismatch.
+func TestEventEngineEquivalenceRandomized64(t *testing.T) {
+	spec, err := faults.ParseSpec("restart-fail:p=0.1,metrics-gap:p=0.03,sched-pressure:p=0.3:dur=45:cores=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const minutes = 420
+
+	mkTrace := func(rng *rand.Rand, name string) *trace.Trace {
+		vs := make([]float64, minutes)
+		if rng.Intn(2) == 0 {
+			// Piecewise-constant: long flat runs — the event engine's
+			// best case, exercising bulk append and steady sleep.
+			level := 0.5 + rng.Float64()*4
+			for i := 0; i < minutes; {
+				runLen := 20 + rng.Intn(120)
+				for j := 0; j < runLen && i < minutes; j++ {
+					vs[i] = level
+					i++
+				}
+				level = 0.5 + rng.Float64()*4
+			}
+		} else {
+			// Noisy: every minute distinct — degenerates the event engine
+			// to minute-length runs, exercising the fallback paths.
+			for i := range vs {
+				vs[i] = 0.5 + rng.Float64()*4
+			}
+		}
+		return trace.New(name, time.Minute, vs)
+	}
+
+	mkSpecs := func() []TenantSpec {
+		rng := rand.New(rand.NewSource(42))
+		specs := make([]TenantSpec, 0, 64)
+		for i := 0; i < 64; i++ {
+			tr := mkTrace(rng, fmt.Sprintf("r%02d", i))
+			maxC := 8
+			var factory func() (recommend.Recommender, error)
+			switch i % 6 {
+			case 0:
+				factory = func() (recommend.Recommender, error) {
+					return recommend.NewCaaSPERReactive(core.DefaultConfig(maxC), 40)
+				}
+			case 1:
+				factory = func() (recommend.Recommender, error) {
+					return baselines.NewKubernetesVPA(baselines.DefaultKubernetesVPAOptions(maxC))
+				}
+			case 2:
+				factory = func() (recommend.Recommender, error) {
+					return baselines.NewOpenShiftVPA(baselines.DefaultOpenShiftVPAOptions(maxC))
+				}
+			case 3:
+				factory = func() (recommend.Recommender, error) {
+					return baselines.NewAutopilot(baselines.DefaultAutopilotOptions(maxC))
+				}
+			case 4:
+				factory = func() (recommend.Recommender, error) {
+					return baselines.NewControl(4), nil
+				}
+			case 5:
+				factory = stubFactory("stub", 2+i%4) // neither optional interface
+			}
+			specs = append(specs, TenantSpec{
+				Name:           fmt.Sprintf("t%02d", i),
+				Trace:          tr,
+				NewRecommender: factory,
+				InitialCores:   1 + rng.Intn(3),
+				MinCores:       1,
+				MaxCores:       maxC,
+				Replicas:       1 + rng.Intn(2),
+				MemGiBPerPod:   1,
+			})
+		}
+		return specs
+	}
+
+	mkOpts := func() Options {
+		nodes := make([]*k8s.Node, 16)
+		for i := range nodes {
+			nodes[i] = k8s.NewNode(fmt.Sprintf("node-%d", i), 64, 256)
+		}
+		cluster, err := k8s.NewCluster(nodes...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := DefaultOptions()
+		opts.Cluster = cluster
+		opts.Minutes = minutes
+		opts.FaultSpec = spec
+		opts.FaultSeed = 11
+		return opts
+	}
+
+	base, baseStream := runEngine(t, mkSpecs(), mkOpts(), EngineStepped, 1)
+	for _, engine := range []string{EngineStepped, EngineEvents} {
+		for _, w := range []int{1, 4, 8} {
+			if engine == EngineStepped && w == 1 {
+				continue
+			}
+			res, stream := runEngine(t, mkSpecs(), mkOpts(), engine, w)
+			if !reflect.DeepEqual(base, res) {
+				t.Errorf("engine=%s workers=%d: result diverged:\n%s\nvs\n%s",
+					engine, w, base.Summary(), res.Summary())
+			}
+			if stream != baseStream {
+				t.Errorf("engine=%s workers=%d: event stream diverged", engine, w)
+			}
+		}
+	}
+}
+
+// countingRec wraps the reactive adapter, counting Recommend calls while
+// transparently promoting its RunObserver/SteadyObserver methods.
+type countingRec struct {
+	*recommend.CaaSPERReactive
+	calls *int64
+}
+
+func (c *countingRec) Recommend(cur int) int {
+	atomic.AddInt64(c.calls, 1)
+	return c.CaaSPERReactive.Recommend(cur)
+}
+
+// TestEventEngineSleepsSteadyTenants proves the wake queue actually skips
+// decision ticks: on a two-level piecewise-constant trace held at "hold"
+// by the MinCores clamp, the event engine must consult the recommender far
+// less often than the stepped engine's once-per-tick — with bit-equal
+// results.
+func TestEventEngineSleepsSteadyTenants(t *testing.T) {
+	const minutes = 600
+	vs := make([]float64, minutes)
+	for i := range vs {
+		if i < 300 {
+			vs[i] = 1
+		} else {
+			vs[i] = 3
+		}
+	}
+	mkSpecs := func(calls *int64) []TenantSpec {
+		return []TenantSpec{{
+			Name:  "steady",
+			Trace: trace.New("two-level", time.Minute, vs),
+			NewRecommender: func() (recommend.Recommender, error) {
+				r, err := recommend.NewCaaSPERReactive(core.DefaultConfig(8), 40)
+				if err != nil {
+					return nil, err
+				}
+				return &countingRec{CaaSPERReactive: r, calls: calls}, nil
+			},
+			InitialCores: 4,
+			MinCores:     4, // clamp forces "hold" on the low plateau
+			MaxCores:     8,
+			Replicas:     1,
+			MemGiBPerPod: 1,
+		}}
+	}
+
+	run := func(engine string) (*Result, int64) {
+		var calls int64
+		opts := DefaultOptions()
+		opts.Cluster = k8s.SmallCluster()
+		opts.Minutes = minutes
+		opts.Engine = engine
+		res, err := Run(mkSpecs(&calls), opts)
+		if err != nil {
+			t.Fatalf("engine=%s: %v", engine, err)
+		}
+		return res, atomic.LoadInt64(&calls)
+	}
+
+	stepped, steppedCalls := run(EngineStepped)
+	events, eventsCalls := run(EngineEvents)
+	if !reflect.DeepEqual(stepped, events) {
+		t.Errorf("results diverged:\n%s\nvs\n%s", stepped.Summary(), events.Summary())
+	}
+	// Stepped decides at every tick 10, 20, …, 590: 59 calls. The event
+	// engine should need only the window warm-ups around the two plateaus.
+	if steppedCalls != 59 {
+		t.Fatalf("stepped made %d Recommend calls, want 59 (test premise broken)", steppedCalls)
+	}
+	if eventsCalls >= steppedCalls/2 {
+		t.Errorf("event engine made %d Recommend calls vs stepped's %d; steady tenant never slept",
+			eventsCalls, steppedCalls)
+	}
+}
+
+// TestEventEngineEdgeCadences pins the engines together on awkward
+// schedules: a warm-up beyond the horizon (no decisions at all), a cadence
+// that does not divide the horizon, and a horizon ending exactly on a
+// decision tick.
+func TestEventEngineEdgeCadences(t *testing.T) {
+	cases := []struct {
+		name           string
+		minutes, d, wu int
+	}{
+		{"no decisions", 120, 10, 1000},
+		{"odd cadence", 100, 7, 13},
+		{"horizon on tick", 90, 30, 30},
+		{"every minute", 50, 1, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mkSpecs := func() []TenantSpec { return mixedFleet(t, 4) }
+			opts := DefaultOptions()
+			opts.Minutes = tc.minutes
+			opts.DecisionEveryMinutes = tc.d
+			opts.WarmupMinutes = tc.wu
+			base, baseStream := runEngine(t, mkSpecs(), withSmallCluster(opts), EngineStepped, 1)
+			res, stream := runEngine(t, mkSpecs(), withSmallCluster(opts), EngineEvents, 1)
+			if !reflect.DeepEqual(base, res) {
+				t.Errorf("result diverged:\n%s\nvs\n%s", base.Summary(), res.Summary())
+			}
+			if stream != baseStream {
+				t.Errorf("event stream diverged")
+			}
+		})
+	}
+}
+
+// TestEngineValidation: unknown engine names are rejected as config errors.
+func TestEngineValidation(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Engine = "warp"
+	if err := opts.Validate(); err == nil {
+		t.Fatal("engine \"warp\" accepted")
+	} else if !errors.Is(err, errs.ErrInvalidConfig) {
+		t.Fatalf("got %v, want ErrInvalidConfig", err)
+	}
+}

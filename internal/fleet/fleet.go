@@ -91,7 +91,29 @@ type Options struct {
 	BillingPeriod time.Duration
 	// PricePerCorePeriod is the unit price (default 1: report ratios).
 	PricePerCorePeriod float64
+	// Engine selects the tick engine: EngineStepped (the default, also
+	// selected by "") or EngineEvents. Both produce byte-identical results
+	// and event streams; see the engine constants for when each wins.
+	Engine string
 }
+
+// Engine names accepted by Options.Engine.
+const (
+	// EngineStepped advances every tenant minute by minute in
+	// decision-cadence segments — the reference engine: simple, O(minutes ×
+	// tenants), and the behavioural yardstick the event engine is tested
+	// against.
+	EngineStepped = "stepped"
+	// EngineEvents is the discrete-event engine: a virtual clock plus a
+	// binary-heap wake queue where tenants only run at decision ticks and
+	// sleep through provably-steady spans, with observation windows,
+	// accounting and billing advanced analytically across constant-demand
+	// trace runs. Results and event streams are byte-identical to
+	// EngineStepped; wall-clock cost scales with trace inflections and
+	// decisions instead of simulated minutes, which is what makes
+	// 100k-tenant months tractable.
+	EngineEvents = "events"
+)
 
 // DefaultOptions returns the fleet defaults: 10-minute decisions, hourly
 // billing, unit price, shortest-trace horizon.
@@ -113,6 +135,11 @@ func (o Options) Validate() error {
 	}
 	if o.BillingPeriod < 0 {
 		return fmt.Errorf("fleet: BillingPeriod must be ≥ 0: %w", errs.ErrInvalidConfig)
+	}
+	switch o.Engine {
+	case "", EngineStepped, EngineEvents:
+	default:
+		return fmt.Errorf("fleet: unknown engine %q: %w", o.Engine, errs.ErrInvalidConfig)
 	}
 	return nil
 }
@@ -197,22 +224,73 @@ type proposal struct {
 // tenant is the per-tenant runtime state. Phase 1 touches exactly one
 // tenant per goroutine; phase 2 walks them sequentially.
 type tenant struct {
-	spec  TenantSpec
-	rec   recommend.Recommender
-	set   *k8s.StatefulSet
-	meter *billing.Meter
+	spec TenantSpec
+	rec  recommend.Recommender
+	set  *k8s.StatefulSet
+	// meter is held by value: fleets allocate tenants in one block and the
+	// meter has no identity beyond its tenant.
+	meter billing.Meter
 	inj   *faults.Injector
 	sink  *obs.MemorySink
 	res   TenantResult
+	// pod caches the ordinal-0 pod name, the tenant's fault-draw key.
+	pod string
 
 	prevUsage float64 // last minute's usage, replayed on a metrics-gap fault
 	severity  float64 // insufficiency accumulated since the last decision
 	prop      proposal
 	hasProp   bool
+
+	// Event-engine state (see events.go; untouched by the stepped engine).
+	done   int                      // minutes [0, done) are fully accounted
+	wakeAt int                      // next wake minute computed at the last decision (−1: none)
+	lim    int                      // cached CPU limit: only phase 2 resizes, and only proposers
+	runs   []int32                  // the trace's constant-run starts, shared across tenants
+	runCur int                      // index into runs of the run containing done
+	gap    bool                     // spec includes metrics-gap: samples need per-minute draws
+	bulk   recommend.RunObserver    // non-nil: bulk window advance allowed
+	steady recommend.SteadyObserver // non-nil: steady-state sleep allowed
 }
 
-// primaryName returns the tenant's fault-draw key: its ordinal-0 pod.
-func (t *tenant) primaryName() string { return t.set.Pods[0].Name }
+// decide evaluates the recommender at a decision tick: the clamped target
+// becomes a phase-2 proposal when it differs from the current limit, and
+// the severity accumulator (the arbiter's priority signal) is snapshotted
+// into the proposal and reset either way.
+func (t *tenant) decide(limit int) {
+	target := t.rec.Recommend(limit)
+	if target < t.spec.MinCores {
+		target = t.spec.MinCores
+	}
+	if target > t.spec.MaxCores {
+		target = t.spec.MaxCores
+	}
+	if target != limit {
+		t.prop = proposal{target: target, severity: t.severity}
+		t.hasProp = true
+	}
+	t.severity = 0
+}
+
+// runState is the assembled per-run machinery shared by both engines: the
+// tenants, the cluster, the fleet-level injector and the phase-2 scratch.
+// Run builds it, dispatches to runStepped or runEvents, then reads the
+// results back out in the common epilogue.
+type runState struct {
+	ts      []*tenant
+	cluster *k8s.Cluster
+	finj    *faults.Injector
+	h       hooks.RunHooks
+	events  bool
+	minutes int
+	warmup  int
+	d       int // decision cadence in minutes
+	workers int
+	res     *Result
+
+	// Phase-2 working storage reused across ticks.
+	ups []int
+	arb *arbScratch
+}
 
 // Run executes the fleet loop over the shared cluster and returns the
 // per-tenant and aggregate results. See the package comment for the
@@ -280,7 +358,15 @@ func Run(tenants []TenantSpec, opts Options) (*Result, error) {
 	// in input order (first-come placement, like a real fleet onboarding
 	// sequence), per-tenant injectors (pod-keyed draws make each stream
 	// tenant-specific regardless of query order) and per-tenant event
-	// buffers replayed sequentially after the loop.
+	// buffers replayed sequentially after the loop. All tenant records
+	// live in one backing block, and every meter is a value copy of one
+	// validated prototype — construction garbage used to dominate
+	// short-horizon fleet benchmarks.
+	meterProto, err := billing.NewMeter(price, period, time.Minute)
+	if err != nil {
+		return nil, err
+	}
+	tstore := make([]tenant, len(tenants))
 	ts := make([]*tenant, len(tenants))
 	for i, spec := range tenants {
 		replicas := spec.Replicas
@@ -295,11 +381,8 @@ func Run(tenants []TenantSpec, opts Options) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fleet: onboarding %q: %w", spec.Name, err)
 		}
-		meter, err := billing.NewMeter(price, period, time.Minute)
-		if err != nil {
-			return nil, err
-		}
-		t := &tenant{spec: spec, rec: rec, set: set, meter: meter}
+		t := &tstore[i]
+		t.spec, t.rec, t.set, t.meter, t.pod = spec, rec, set, *meterProto, set.Pods[0].Name
 		t.inj = faults.New(h.FaultSpec, h.FaultSeed)
 		if t.inj != nil {
 			t.inj.Stats = h.Metrics
@@ -334,185 +417,27 @@ func Run(tenants []TenantSpec, opts Options) (*Result, error) {
 	}
 
 	res := &Result{Minutes: minutes, Tenants: make([]TenantResult, len(ts))}
-	ctx := context.Background()
 
-	// Per-run arbitration scratch, hoisted out of the tick loop: the
-	// scale-up worklist, the infeasibility node tally and the enactment
-	// rollback list are reused across every tick.
-	var ups []int
-	arb := &arbScratch{}
-
-	// The replay advances in decision-cadence segments rather than single
-	// minutes: limits only change in phase 2, which only runs at decision
-	// ticks, so every minute in between is pure tenant-local observation.
-	// Batching the segment into ONE parallel fan-out per decision tick
-	// (instead of one per minute) removes ~DecisionEveryMinutes×
-	// scheduling round-trips per tick while preserving the exact
-	// per-minute observe/account/meter sequence each tenant executes —
-	// results and event streams stay byte-identical at every worker count.
-	for segStart := 0; segStart < minutes; {
-		// The segment ends just after the next decision minute (the first
-		// now ≥ segStart with now ≥ warmup and (now−warmup)%D == 0), or at
-		// the horizon when no further decision happens.
-		segEnd := minutes // exclusive
-		decision := -1    // the decision minute, -1 when the replay ends first
-		nd := warmup
-		if segStart > warmup {
-			d := opts.DecisionEveryMinutes
-			nd = warmup + (segStart-warmup+d-1)/d*d
-		}
-		if nd < minutes {
-			segEnd = nd + 1
-			decision = nd
-		}
-
-		// Sequential segment prologue: poll the fleet-level scheduling
-		// pressure for every minute in order — the same draw and event
-		// sequence the per-minute loop produced — keeping the decision
-		// minute's value for this tick's arbitration.
-		pressure := 0.0
-		if finj != nil {
-			for now := segStart; now < segEnd; now++ {
-				pressure = finj.PressureCores(int64(now))
-			}
-			cluster.SetPressure(pressure)
-		}
-
-		// Phase 1 — parallel observe/decide over the whole segment. Each
-		// task touches only its tenant's state and reads nothing phase 2
-		// mutates, so any worker count produces identical proposals.
-		err := parallel.ForEach(ctx, len(ts), opts.Workers, func(i int) error {
-			t := ts[i]
-			limit := t.set.CPULimit() // constant within the segment
-			limf := float64(limit)
-			t.hasProp = false
-			for now := segStart; now < segEnd; now++ {
-				demand := t.spec.Trace.Values[now]
-				usage := demand
-				if usage > limf {
-					usage = limf
-				}
-
-				// Scrape: a metrics-gap fault loses this minute's sample,
-				// so the recommender observes the previous one —
-				// ground-truth accounting below is unaffected.
-				observed := usage
-				if t.inj.DropSample(t.primaryName(), int64(now)) {
-					observed = t.prevUsage
-				}
-				t.prevUsage = usage
-				t.rec.Observe(now, observed)
-
-				// Ground-truth accounting in core-minutes.
-				if slack := limf - usage; slack > 0 {
-					t.res.SumSlack += slack
-				}
-				if short := demand - limf; short > 0 {
-					t.res.SumInsufficient += short
-					t.severity += short
-					t.res.ThrottledMinutes++
-				}
-				t.meter.Record(limf)
-			}
-
-			// Decide: file a proposal for phase 2. The severity snapshot
-			// is the insufficiency accumulated since the last decision —
-			// the arbiter's priority signal.
-			if decision >= 0 {
-				target := t.rec.Recommend(limit)
-				if target < t.spec.MinCores {
-					target = t.spec.MinCores
-				}
-				if target > t.spec.MaxCores {
-					target = t.spec.MaxCores
-				}
-				if target != limit {
-					t.prop = proposal{target: target, severity: t.severity}
-					t.hasProp = true
-				}
-				t.severity = 0
-			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		segStart = segEnd
-		if decision < 0 {
-			continue
-		}
-		now := decision
-
-		// Phase 2 — sequential enact/arbitrate. Scale-downs first: they
-		// only release capacity, so they are always granted and make room
-		// for this tick's scale-ups (the arbiter sees the freed cores).
-		ups = ups[:0]
-		for i, t := range ts {
-			if !t.hasProp {
-				continue
-			}
-			if t.prop.target < t.set.CPULimit() {
-				enact(t, t.prop, cluster, arb, h.Events, events, now)
-			} else {
-				ups = append(ups, i)
-			}
-		}
-
-		// Arbitration: grant scale-ups most-throttled-first; tenant index
-		// breaks ties deterministically. The order is total (indices are
-		// unique), so this closure-free insertion sort reproduces exactly
-		// the permutation sort.SliceStable used to produce. Each grant
-		// applies its in-place resizes immediately, so later feasibility
-		// checks see the already-reserved capacity.
-		if len(ups) > 0 {
-			for a := 1; a < len(ups); a++ {
-				v := ups[a]
-				sv := ts[v].prop.severity
-				b := a - 1
-				for b >= 0 {
-					sb := ts[ups[b]].prop.severity
-					if sv > sb || (sv == sb && v < ups[b]) {
-						ups[b+1] = ups[b]
-						b--
-					} else {
-						break
-					}
-				}
-				ups[b+1] = v
-			}
-			granted, deferred := 0, 0
-			for _, i := range ups {
-				t := ts[i]
-				if node, short := infeasible(t, t.prop.target, cluster, pressure, arb); node != "" {
-					t.res.Deferrals++
-					deferred++
-					if events {
-						h.Events.Emit(obs.Event{T: int64(now), Type: "fleet.deferred", Fields: []obs.Field{
-							obs.S("tenant", t.spec.Name),
-							obs.I("from", int64(t.set.CPULimit())),
-							obs.I("want", int64(t.prop.target)),
-							obs.F("severity", t.prop.severity),
-							obs.S("node", node),
-							obs.F("short_cores", short),
-						}})
-					}
-					continue
-				}
-				enact(t, t.prop, cluster, arb, h.Events, events, now)
-				granted++
-			}
-			if deferred > 0 {
-				res.ArbitrationTicks++
-				if events {
-					h.Events.Emit(obs.Event{T: int64(now), Type: "fleet.arbitration", Fields: []obs.Field{
-						obs.I("contenders", int64(len(ups))),
-						obs.I("granted", int64(granted)),
-						obs.I("deferred", int64(deferred)),
-						obs.F("pressure", pressure),
-					}})
-				}
-			}
-		}
+	s := &runState{
+		ts:      ts,
+		cluster: cluster,
+		finj:    finj,
+		h:       h,
+		events:  events,
+		minutes: minutes,
+		warmup:  warmup,
+		d:       opts.DecisionEveryMinutes,
+		workers: opts.Workers,
+		res:     res,
+		arb:     &arbScratch{},
+	}
+	if opts.Engine == EngineEvents {
+		err = s.runEvents()
+	} else {
+		err = s.runStepped()
+	}
+	if err != nil {
+		return nil, err
 	}
 
 	// Epilogue: close the books, emit the per-tenant summaries and replay
@@ -561,6 +486,189 @@ func Run(tenants []TenantSpec, opts Options) (*Result, error) {
 		m.Gauge("fleet.total_cost").Set(res.TotalCost)
 	}
 	return res, nil
+}
+
+// runStepped is the reference engine. The replay advances in
+// decision-cadence segments rather than single minutes: limits only change
+// in phase 2, which only runs at decision ticks, so every minute in
+// between is pure tenant-local observation. Batching the segment into ONE
+// parallel fan-out per decision tick (instead of one per minute) removes
+// ~DecisionEveryMinutes× scheduling round-trips per tick while preserving
+// the exact per-minute observe/account/meter sequence each tenant executes
+// — results and event streams stay byte-identical at every worker count.
+func (s *runState) runStepped() error {
+	ts, minutes, warmup := s.ts, s.minutes, s.warmup
+	ctx := context.Background()
+
+	// The sequential phase walks every tenant index each tick.
+	all := make([]int, len(ts))
+	for i := range all {
+		all[i] = i
+	}
+
+	for segStart := 0; segStart < minutes; {
+		// The segment ends just after the next decision minute (the first
+		// now ≥ segStart with now ≥ warmup and (now−warmup)%D == 0), or at
+		// the horizon when no further decision happens.
+		segEnd := minutes // exclusive
+		decision := -1    // the decision minute, -1 when the replay ends first
+		nd := warmup
+		if segStart > warmup {
+			nd = warmup + (segStart-warmup+s.d-1)/s.d*s.d
+		}
+		if nd < minutes {
+			segEnd = nd + 1
+			decision = nd
+		}
+
+		// Sequential segment prologue: poll the fleet-level scheduling
+		// pressure for every minute in order — the same draw and event
+		// sequence the per-minute loop produced — keeping the decision
+		// minute's value for this tick's arbitration.
+		pressure := 0.0
+		if s.finj != nil {
+			for now := segStart; now < segEnd; now++ {
+				pressure = s.finj.PressureCores(int64(now))
+			}
+			s.cluster.SetPressure(pressure)
+		}
+
+		// Phase 1 — parallel observe/decide over the whole segment. Each
+		// task touches only its tenant's state and reads nothing phase 2
+		// mutates, so any worker count produces identical proposals.
+		err := parallel.ForEach(ctx, len(ts), s.workers, func(i int) error {
+			t := ts[i]
+			limit := t.set.CPULimit() // constant within the segment
+			limf := float64(limit)
+			t.hasProp = false
+			for now := segStart; now < segEnd; now++ {
+				demand := t.spec.Trace.Values[now]
+				usage := demand
+				if usage > limf {
+					usage = limf
+				}
+
+				// Scrape: a metrics-gap fault loses this minute's sample,
+				// so the recommender observes the previous one —
+				// ground-truth accounting below is unaffected.
+				observed := usage
+				if t.inj.DropSample(t.pod, int64(now)) {
+					observed = t.prevUsage
+				}
+				t.prevUsage = usage
+				t.rec.Observe(now, observed)
+
+				// Ground-truth accounting in core-minutes.
+				if slack := limf - usage; slack > 0 {
+					t.res.SumSlack += slack
+				}
+				if short := demand - limf; short > 0 {
+					t.res.SumInsufficient += short
+					t.severity += short
+					t.res.ThrottledMinutes++
+				}
+				t.meter.Record(limf)
+			}
+
+			// Decide: file a proposal for phase 2. The severity snapshot
+			// is the insufficiency accumulated since the last decision —
+			// the arbiter's priority signal.
+			if decision >= 0 {
+				t.decide(limit)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		segStart = segEnd
+		if decision >= 0 {
+			s.enactPhase(all, pressure, decision)
+		}
+	}
+	return nil
+}
+
+// enactPhase is phase 2 — the sequential enact/arbitrate pass at one
+// decision tick, shared by both engines. cands lists the tenant indices
+// that may hold proposals, in ascending order: the stepped engine passes
+// every index, the event engine just the tenants awake at this tick
+// (sleeping tenants provably file nothing, so the walk is equivalent).
+//
+// Scale-downs go first: they only release capacity, so they are always
+// granted and make room for this tick's scale-ups (the arbiter sees the
+// freed cores).
+func (s *runState) enactPhase(cands []int, pressure float64, now int) {
+	ts := s.ts
+	ups := s.ups[:0]
+	for _, i := range cands {
+		t := ts[i]
+		if !t.hasProp {
+			continue
+		}
+		if t.prop.target < t.set.CPULimit() {
+			enact(t, t.prop, s.cluster, s.arb, s.h.Events, s.events, now)
+		} else {
+			ups = append(ups, i)
+		}
+	}
+
+	// Arbitration: grant scale-ups most-throttled-first; tenant index
+	// breaks ties deterministically. The order is total (indices are
+	// unique), so this closure-free insertion sort reproduces exactly
+	// the permutation sort.SliceStable used to produce. Each grant
+	// applies its in-place resizes immediately, so later feasibility
+	// checks see the already-reserved capacity.
+	if len(ups) > 0 {
+		for a := 1; a < len(ups); a++ {
+			v := ups[a]
+			sv := ts[v].prop.severity
+			b := a - 1
+			for b >= 0 {
+				sb := ts[ups[b]].prop.severity
+				if sv > sb || (sv == sb && v < ups[b]) {
+					ups[b+1] = ups[b]
+					b--
+				} else {
+					break
+				}
+			}
+			ups[b+1] = v
+		}
+		granted, deferred := 0, 0
+		for _, i := range ups {
+			t := ts[i]
+			if node, short := infeasible(t, t.prop.target, s.cluster, pressure, s.arb); node != "" {
+				t.res.Deferrals++
+				deferred++
+				if s.events {
+					s.h.Events.Emit(obs.Event{T: int64(now), Type: "fleet.deferred", Fields: []obs.Field{
+						obs.S("tenant", t.spec.Name),
+						obs.I("from", int64(t.set.CPULimit())),
+						obs.I("want", int64(t.prop.target)),
+						obs.F("severity", t.prop.severity),
+						obs.S("node", node),
+						obs.F("short_cores", short),
+					}})
+				}
+				continue
+			}
+			enact(t, t.prop, s.cluster, s.arb, s.h.Events, s.events, now)
+			granted++
+		}
+		if deferred > 0 {
+			s.res.ArbitrationTicks++
+			if s.events {
+				s.h.Events.Emit(obs.Event{T: int64(now), Type: "fleet.arbitration", Fields: []obs.Field{
+					obs.I("contenders", int64(len(ups))),
+					obs.I("granted", int64(granted)),
+					obs.I("deferred", int64(deferred)),
+					obs.F("pressure", pressure),
+				}})
+			}
+		}
+	}
+	s.ups = ups
 }
 
 // arbScratch holds the phase-2 working storage reused across ticks: the
@@ -619,7 +727,7 @@ func infeasible(t *tenant, target int, cluster *k8s.Cluster, pressure float64, a
 // aborts the enactment before any pod changes, modelling a failed apply.
 func enact(t *tenant, prop proposal, cluster *k8s.Cluster, arb *arbScratch, sink obs.Sink, events bool, now int) {
 	from := t.set.CPULimit()
-	if t.inj.RestartFails(t.primaryName(), int64(now)) {
+	if t.inj.RestartFails(t.pod, int64(now)) {
 		t.res.ResizesAborted++
 		if events {
 			sink.Emit(obs.Event{T: int64(now), Type: "fleet.resize-aborted", Fields: []obs.Field{

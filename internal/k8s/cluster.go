@@ -2,7 +2,6 @@ package k8s
 
 import (
 	"fmt"
-	"sort"
 
 	"caasper/internal/errs"
 )
@@ -121,26 +120,29 @@ func (c *Cluster) Schedule(p *Pod) error {
 	if p.Phase == PhaseRunning {
 		return fmt.Errorf("k8s: pod %s already running", p.Name)
 	}
-	candidates := make([]*Node, 0, len(c.nodes))
+	// Single allocation-free scan for the winning candidate. Candidacy is
+	// judged on pressure-reduced free CPU; the spread ranking (most raw
+	// free CPU, ties broken by name) is a total order over distinct node
+	// names, so the scan picks the same node the old sort-and-take-first
+	// did without building a candidate slice per placement.
+	var best *Node
+	var bestFree float64
 	for _, n := range c.nodes {
 		free := n.Free()
+		rawCPU := free.CPUCores
 		free.CPUCores -= c.pressure // transient fault-injected pressure
-		if p.Spec.Requests.Fits(free) {
-			candidates = append(candidates, n)
+		if !p.Spec.Requests.Fits(free) {
+			continue
+		}
+		if best == nil || rawCPU > bestFree || (rawCPU == bestFree && n.Name < best.Name) {
+			best, bestFree = n, rawCPU
 		}
 	}
-	if len(candidates) == 0 {
+	if best == nil {
 		return fmt.Errorf("k8s: no node fits pod %s (requests %.0fc/%.0fGiB, pressure %.0fc)",
 			p.Name, p.Spec.Requests.CPUCores, p.Spec.Requests.MemoryGiB, c.pressure)
 	}
-	sort.Slice(candidates, func(i, j int) bool {
-		fi, fj := candidates[i].Free(), candidates[j].Free()
-		if fi.CPUCores != fj.CPUCores {
-			return fi.CPUCores > fj.CPUCores
-		}
-		return candidates[i].Name < candidates[j].Name
-	})
-	n := candidates[0]
+	n := best
 	n.pods[p.Name] = p
 	n.allocated = n.allocated.Add(p.Spec.Requests)
 	p.NodeName = n.Name

@@ -2,6 +2,7 @@ package k8s
 
 import (
 	"fmt"
+	"strconv"
 
 	"caasper/internal/errs"
 )
@@ -28,19 +29,22 @@ func NewStatefulSet(name string, replicas, cpuCores int, memGiB float64, cluster
 	if cpuCores < 1 {
 		return nil, fmt.Errorf("k8s: cpuCores must be ≥ 1: %w", errs.ErrInvalidConfig)
 	}
-	set := &StatefulSet{Name: name, MemGiBPerPod: memGiB}
-	for i := 0; i < replicas; i++ {
+	set := &StatefulSet{Name: name, MemGiBPerPod: memGiB, Pods: make([]*Pod, 0, replicas)}
+	// One backing block for all replicas: fleet runs build hundreds of
+	// thousands of sets and the per-pod heap objects dominated their
+	// construction cost.
+	pods := make([]Pod, replicas)
+	for i := range pods {
 		role := RoleSecondary
 		if i == 0 {
 			role = RolePrimary
 		}
-		p := &Pod{
-			Name:    fmt.Sprintf("%s-%d", name, i),
-			Ordinal: i,
-			Role:    role,
-			Phase:   PhasePending,
-			Spec:    NewGuaranteedSpec(cpuCores, memGiB),
-		}
+		p := &pods[i]
+		p.Name = name + "-" + strconv.Itoa(i)
+		p.Ordinal = i
+		p.Role = role
+		p.Phase = PhasePending
+		p.Spec = NewGuaranteedSpec(cpuCores, memGiB)
 		if err := cluster.Schedule(p); err != nil {
 			return nil, fmt.Errorf("k8s: scheduling %s: %w", p.Name, err)
 		}

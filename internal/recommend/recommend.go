@@ -39,6 +39,42 @@ type Recommender interface {
 	Reset()
 }
 
+// RunObserver is the optional bulk form of Observe for recommenders whose
+// Observe is a pure "append one sample" with no per-minute side effects.
+// ObserveRun(minute, u, n) must leave the recommender in exactly the state
+// n sequential Observe(minute+k, u) calls (k = 0..n−1) would — the
+// discrete-event fleet engine relies on that bit-equality to advance
+// observation windows across constant-demand trace runs in one call.
+// Recommenders whose Observe depends on the minute itself (e.g. a
+// time-decayed histogram) must NOT implement it.
+type RunObserver interface {
+	// ObserveRun records n consecutive samples of the same usage value,
+	// the first at time index minute.
+	ObserveRun(minute int, usageCores float64, n int)
+}
+
+// SteadyObserver is the optional steady-state marker that lets an
+// event-driven engine put a tenant to sleep across decision ticks.
+// SteadyObserving(u) may return true only when BOTH hold:
+//
+//  1. Recommend is a pure function of the retained observation state and
+//     its currentCores argument (same inputs, same output, no
+//     output-affecting side effects); and
+//  2. further Observe(u) calls cannot change that retained state's
+//     Recommend output (typically: a saturated bounded window already
+//     holding nothing but u).
+//
+// Under those two guarantees, a tenant whose last decision was "hold" and
+// whose demand stays at u provably re-decides "hold" at every subsequent
+// tick, so the engine can skip the ticks entirely. Implementations unsure
+// of either property must return false — sleeping is an optimisation,
+// never an obligation.
+type SteadyObserver interface {
+	// SteadyObserving reports whether observing usageCores indefinitely
+	// provably leaves every future Recommend output unchanged.
+	SteadyObserving(usageCores float64) bool
+}
+
 // Explainer is implemented by recommenders that can explain their most
 // recent recommendation in prose — the interpretability surface (R6) the
 // simulator and CLIs expose. Baselines deliberately do not implement it:
@@ -99,6 +135,28 @@ func (c *CaaSPERReactive) Name() string { return "caasper-reactive" }
 func (c *CaaSPERReactive) Observe(minute int, usageCores float64) {
 	c.scratch.Now = int64(minute) // timestamp for the next decision audit
 	c.history.Push(usageCores)
+}
+
+// ObserveRun implements RunObserver: the per-minute Observe only stamps
+// the audit clock and pushes into the ring, so the bulk form is a single
+// clock stamp plus a bulk ring append — bit-identical end state.
+func (c *CaaSPERReactive) ObserveRun(minute int, usageCores float64, n int) {
+	if n <= 0 {
+		return
+	}
+	c.scratch.Now = int64(minute + n - 1)
+	c.history.PushRun(usageCores, n)
+}
+
+// SteadyObserving implements SteadyObserver. Algorithm 1 is a pure
+// function of (window, current cores, config) — DecideScratch's memo
+// documents exactly that — so once the bounded window is saturated and
+// holds nothing but the current usage level, further equal observations
+// cannot move any future recommendation.
+func (c *CaaSPERReactive) SteadyObserving(usageCores float64) bool {
+	return c.history.Bounded() &&
+		c.history.Total() >= c.history.Cap() &&
+		c.history.AllEqual(usageCores)
 }
 
 // Recommend implements Recommender.
@@ -195,6 +253,19 @@ func (c *CaaSPERProactive) Name() string { return "caasper-proactive" }
 func (c *CaaSPERProactive) Observe(minute int, usageCores float64) {
 	c.scratch.Now = int64(minute) // timestamp for the next decision audit
 	c.history.Push(usageCores)
+}
+
+// ObserveRun implements RunObserver (see CaaSPERReactive.ObserveRun).
+// The proactive adapter deliberately does NOT implement SteadyObserver:
+// its MinHistory warm-up can flip the decision mode mid-sleep and
+// forecaster purity is a property of the injected Forecaster, not of the
+// adapter — so the engine keeps waking it at every tick.
+func (c *CaaSPERProactive) ObserveRun(minute int, usageCores float64, n int) {
+	if n <= 0 {
+		return
+	}
+	c.scratch.Now = int64(minute + n - 1)
+	c.history.PushRun(usageCores, n)
 }
 
 // Recommend implements Recommender.

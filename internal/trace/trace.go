@@ -81,6 +81,34 @@ func (t *Trace) Window(from, to int) []float64 {
 	return t.Values[from:to]
 }
 
+// RunStarts returns the start index of every maximal constant-value run,
+// ascending and beginning with 0 (nil for an empty trace). These are the
+// trace's inflection points: between consecutive entries the demand is
+// flat, which is the property the discrete-event fleet engine exploits to
+// advance observation windows in bulk and to sleep steady tenants until
+// the next inflection. NaN samples never extend a run (NaN != NaN), so a
+// corrupted trace degrades to minute-length runs instead of masking a
+// change.
+func (t *Trace) RunStarts() []int32 {
+	vs := t.Values
+	if len(vs) == 0 {
+		return nil
+	}
+	n := 1
+	for i := 1; i < len(vs); i++ {
+		if vs[i] != vs[i-1] {
+			n++
+		}
+	}
+	starts := make([]int32, 1, n)
+	for i := 1; i < len(vs); i++ {
+		if vs[i] != vs[i-1] {
+			starts = append(starts, int32(i))
+		}
+	}
+	return starts
+}
+
 // Peak returns the largest sample value (0 for an empty trace). It is the
 // shared peak scan behind every "size the SKU ladder from the trace"
 // derivation: NaN samples are skipped so an unsanitised trace cannot

@@ -61,6 +61,55 @@ func (r *Ring) Push(v float64) {
 	r.total++
 }
 
+// PushRun appends n copies of the same sample — the bulk form the
+// discrete-event fleet engine uses to advance an observation window over
+// a constant-demand trace run in one call. The resulting state (buffer,
+// total, View) is bit-identical to n sequential Push(v) calls; when the
+// run is at least as long as the capacity, every retained slot is simply
+// overwritten with v, making the append O(cap) instead of O(n).
+func (r *Ring) PushRun(v float64, n int) {
+	if n <= 0 {
+		return
+	}
+	if r.capacity == 0 {
+		for k := 0; k < n; k++ {
+			r.buf = append(r.buf, v)
+		}
+		r.total += n
+		return
+	}
+	if n >= r.capacity {
+		// n sequential pushes visit every slot of both mirrors.
+		for i := range r.buf {
+			r.buf[i] = v
+		}
+		r.total += n
+		return
+	}
+	i := r.total % r.capacity
+	for k := 0; k < n; k++ {
+		r.buf[i] = v
+		r.buf[i+r.capacity] = v
+		if i++; i == r.capacity {
+			i = 0
+		}
+	}
+	r.total += n
+}
+
+// AllEqual reports whether every retained sample equals v (vacuously true
+// when empty). Steady-state detection — "the window holds nothing but the
+// current usage level" — is what lets the event-driven fleet engine prove
+// a recommender's output cannot change until the demand trace does.
+func (r *Ring) AllEqual(v float64) bool {
+	for _, x := range r.View() {
+		if x != v {
+			return false
+		}
+	}
+	return true
+}
+
 // Len returns the number of retained samples: min(Total, Cap) in bounded
 // mode, Total otherwise.
 func (r *Ring) Len() int {

@@ -1,11 +1,13 @@
 #!/bin/sh
 # Fleet determinism gate: run a 16-tenant chaos fleet on the small
-# (contended) cluster at worker counts 1, 4 and 8 — under the race
-# detector — and require the fleet/fault event streams to be
-# byte-identical to each other and to the checked-in golden. Any
-# scheduling nondeterminism in the parallel observe/decide phase, drift
-# in the arbiter's grant order, or a change to the fault injector's draw
-# discipline shows up here as a byte diff.
+# (contended) cluster under BOTH tick engines (stepped and discrete-event)
+# at worker counts 1, 4 and 8 — under the race detector — and require the
+# fleet/fault event streams to be byte-identical to each other and to the
+# checked-in golden. Any scheduling nondeterminism in the parallel
+# observe/decide phase, drift in the arbiter's grant order, a change to
+# the fault injector's draw discipline, or a divergence between the event
+# engine's analytic catch-up and the stepped reference shows up here as a
+# byte diff.
 #
 #   sh scripts/fleet.sh            # verify against testdata/fleet golden
 #   UPDATE=1 sh scripts/fleet.sh   # regenerate the golden
@@ -18,26 +20,32 @@ trap 'rm -rf "$OUT"' EXIT
 
 FAULTS="restart-fail:p=0.2,metrics-gap:p=0.05,sched-pressure:p=0.5:dur=60:cores=4"
 
-for W in 1 4 8; do
-    echo "==> fleet chaos run (16 tenants, 240 min, small cluster, workers $W, -race)"
-    go run -race ./cmd/caasper-fleet -tenants 16 -minutes 240 -cluster small \
-        -workers "$W" -faults "$FAULTS" -fault-seed 7 \
-        -events "$OUT/fleet-w$W.ndjson" >/dev/null
-    grep -E '"type":"(fleet|fault)\.' "$OUT/fleet-w$W.ndjson" > "$OUT/fleet-w$W.events.ndjson"
+for ENG in stepped events; do
+    for W in 1 4 8; do
+        echo "==> fleet chaos run (16 tenants, 240 min, small cluster, engine $ENG, workers $W, -race)"
+        go run -race ./cmd/caasper-fleet -tenants 16 -minutes 240 -cluster small \
+            -engine "$ENG" -workers "$W" -faults "$FAULTS" -fault-seed 7 \
+            -events "$OUT/fleet-$ENG-w$W.ndjson" >/dev/null
+        grep -E '"type":"(fleet|fault)\.' "$OUT/fleet-$ENG-w$W.ndjson" > "$OUT/fleet-$ENG-w$W.events.ndjson"
+    done
 done
 
-cmp "$OUT/fleet-w1.events.ndjson" "$OUT/fleet-w4.events.ndjson"
-cmp "$OUT/fleet-w1.events.ndjson" "$OUT/fleet-w8.events.ndjson"
-echo "==> worker counts 1/4/8 byte-identical"
+REF="$OUT/fleet-stepped-w1.events.ndjson"
+for ENG in stepped events; do
+    for W in 1 4 8; do
+        cmp "$REF" "$OUT/fleet-$ENG-w$W.events.ndjson"
+    done
+done
+echo "==> engines stepped/events byte-identical at workers 1/4/8"
 
 GOLD=testdata/fleet
 if [ "${UPDATE:-0}" = "1" ]; then
     mkdir -p "$GOLD"
-    cp "$OUT/fleet-w1.events.ndjson" "$GOLD/fleet-chaos.golden.ndjson"
+    cp "$REF" "$GOLD/fleet-chaos.golden.ndjson"
     wc -l "$GOLD/fleet-chaos.golden.ndjson"
     echo "==> golden regenerated in $GOLD/"
     exit 0
 fi
 
-diff -u "$GOLD/fleet-chaos.golden.ndjson" "$OUT/fleet-w1.events.ndjson"
-echo "==> OK: fleet event stream byte-identical to golden at every worker count"
+diff -u "$GOLD/fleet-chaos.golden.ndjson" "$REF"
+echo "==> OK: fleet event stream byte-identical to golden under both engines at every worker count"
