@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-all benchdiff check chaos fleet apicheck
+.PHONY: build test race bench bench-all benchdiff check chaos fleet serve-smoke apicheck
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,11 @@ chaos:
 # workers 1/4/8 under -race. Regenerate: UPDATE=1 make fleet
 fleet:
 	sh scripts/fleet.sh
+
+# Serve smoke: caasper-serve + loadgen + decision-stream golden + drain.
+# Regenerate after an intentional decision change: UPDATE=1 make serve-smoke
+serve-smoke:
+	sh scripts/serve.sh
 
 # Exported-API snapshot diffed against testdata/api.txt.
 # Regenerate after an intentional API change: UPDATE=1 make apicheck

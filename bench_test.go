@@ -14,7 +14,11 @@ package caasper_test
 
 import (
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -569,4 +573,63 @@ func BenchmarkRandomSearch(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkServeIngest drives the recommender service's HTTP ingest path
+// end to end — NDJSON batch POSTs through the real handler stack into
+// the shard queues, decisions firing at the default cadence — and
+// reports sustained samples/minute (the serve throughput figure).
+func BenchmarkServeIngest(b *testing.B) {
+	srv, err := caasper.NewServer(caasper.ServeOptions{Shards: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4}}
+
+	const tenants = 8
+	const batchSamples = 60
+	for i := 0; i < tenants; i++ {
+		req, _ := http.NewRequest(http.MethodPut,
+			fmt.Sprintf("%s/v1/tenants/t%02d", ts.URL, i),
+			strings.NewReader(`{"policy":"caasper","max_cores":16,"initial_cores":2}`))
+		resp, err := client.Do(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			b.Fatalf("register: %s", resp.Status)
+		}
+	}
+	tr := caasper.Workloads["workday12h"](1)
+	var body strings.Builder
+	for s := 0; s < batchSamples; s++ {
+		fmt.Fprintf(&body, "{\"cpu\":%.4f}\n", tr.At(s))
+	}
+	batch := body.String()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		url := fmt.Sprintf("%s/v1/tenants/t%02d/samples", ts.URL, i%tenants)
+		for {
+			resp, err := client.Post(url, "application/x-ndjson", strings.NewReader(batch))
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusAccepted {
+				break
+			}
+			if resp.StatusCode != http.StatusTooManyRequests {
+				b.Fatalf("post: %s", resp.Status)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*batchSamples/b.Elapsed().Minutes(), "samples/min")
 }

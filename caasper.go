@@ -39,9 +39,6 @@
 package caasper
 
 import (
-	"fmt"
-	"strings"
-
 	"caasper/internal/baselines"
 	"caasper/internal/core"
 	"caasper/internal/dbsim"
@@ -54,6 +51,7 @@ import (
 	"caasper/internal/obs"
 	"caasper/internal/pvp"
 	"caasper/internal/recommend"
+	"caasper/internal/serve"
 	"caasper/internal/sim"
 	"caasper/internal/trace"
 	"caasper/internal/tuning"
@@ -256,29 +254,12 @@ func NewAutopilot(maxCores int) (Recommender, error) {
 
 // RecommenderSettings carries the shared knobs of the named recommender
 // constructors. Only MaxCores is required; every other field has the
-// paper's running default.
-type RecommenderSettings struct {
-	// MaxCores tops the SKU ladder (required, ≥ 1).
-	MaxCores int
-	// Window is the reactive decision window in samples (default 40, the
-	// paper's "last 40 minutes of CPU usage").
-	Window int
-	// Horizon is the proactive forecast horizon in samples (default 60).
-	Horizon int
-	// Season is the seasonal-naïve period in samples (default 1440, one
-	// day at minute resolution).
-	Season int
-	// ControlCores is the fixed allocation of the "control" policy
-	// (default: MaxCores).
-	ControlCores int
-	// Config overrides DefaultConfig(MaxCores) for the CaaSPER policies.
-	Config *Config
-}
+// paper's running default. It aliases recommend.Settings so the serve
+// layer can hot-swap policies by name without importing this package.
+type RecommenderSettings = recommend.Settings
 
 // RecommenderNames lists the names NewRecommenderByName accepts, sorted.
-func RecommenderNames() []string {
-	return []string{"autopilot", "caasper", "caasper-proactive", "control", "openshift", "vpa"}
-}
+func RecommenderNames() []string { return recommend.Names() }
 
 // NewRecommenderByName builds a recommender from its CLI-facing name —
 // the one switch every command shares instead of each growing its own:
@@ -292,45 +273,7 @@ func RecommenderNames() []string {
 //
 // An unrecognised name wraps ErrUnknownRecommender.
 func NewRecommenderByName(name string, s RecommenderSettings) (Recommender, error) {
-	if s.MaxCores < 1 {
-		return nil, fmt.Errorf("caasper: MaxCores must be ≥ 1: %w", ErrInvalidConfig)
-	}
-	window := s.Window
-	if window == 0 {
-		window = 40
-	}
-	horizon := s.Horizon
-	if horizon == 0 {
-		horizon = 60
-	}
-	season := s.Season
-	if season == 0 {
-		season = 1440
-	}
-	control := s.ControlCores
-	if control == 0 {
-		control = s.MaxCores
-	}
-	cfg := DefaultConfig(s.MaxCores)
-	if s.Config != nil {
-		cfg = *s.Config
-	}
-	switch name {
-	case "caasper", "caasper-reactive":
-		return NewReactive(cfg, window)
-	case "caasper-proactive":
-		return NewProactive(cfg, NewSeasonalNaive(season), window, horizon, season)
-	case "vpa":
-		return NewKubernetesVPA(s.MaxCores)
-	case "openshift":
-		return NewOpenShiftVPA(s.MaxCores)
-	case "autopilot":
-		return NewAutopilot(s.MaxCores)
-	case "control":
-		return NewControl(control), nil
-	}
-	return nil, fmt.Errorf("caasper: %w %q (known: %s)",
-		ErrUnknownRecommender, name, strings.Join(RecommenderNames(), ", "))
+	return recommend.NewByName(name, s)
 }
 
 // ---------------------------------------------------------------------------
@@ -579,3 +522,29 @@ var NewMemorySink = obs.NewMemorySink
 
 // NewMetricsRegistry returns an empty runtime-metrics registry.
 var NewMetricsRegistry = obs.NewRegistry
+
+// ---------------------------------------------------------------------------
+// Recommender service
+
+// ServeOptions configures the long-running recommender service behind
+// caasper-serve: shard count, ingest queue depth, decision cadence,
+// snapshot path and telemetry hooks.
+type ServeOptions = serve.Options
+
+// ServeTenantConfig is a tenant's registration body for the service:
+// which policy decides for it and over which min/max core range.
+type ServeTenantConfig = serve.TenantConfig
+
+// ServeDecisionRecord is one decision as streamed by the service's
+// NDJSON decision endpoint.
+type ServeDecisionRecord = serve.DecisionRecord
+
+// Server is the recommender-as-a-service HTTP server: tenants POST
+// metric samples, decisions stream back, and the admin surface retunes
+// core ranges and hot-swaps policies without a restart. Expose via
+// Handler, checkpoint via Snapshot, stop with Close.
+type Server = serve.Server
+
+// NewServer builds a Server, starts its shard workers, and restores the
+// checkpoint at ServeOptions.SnapshotPath when one exists.
+var NewServer = serve.New

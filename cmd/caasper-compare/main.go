@@ -43,6 +43,7 @@ func main() {
 		fatal(err)
 	}
 	defer session.Finish(os.Stdout)
+	session.FlushOnSignal(os.Stdout, "caasper-compare")
 
 	traces, err := collectTraces(*workloads, *alibaba, *seed)
 	if err != nil {

@@ -165,6 +165,7 @@ func main() {
 		fatal(err)
 	}
 	defer session.Finish(os.Stdout)
+	session.FlushOnSignal(os.Stdout, "caasper-experiments")
 
 	if *list {
 		for _, r := range runners {

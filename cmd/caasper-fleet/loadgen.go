@@ -1,0 +1,200 @@
+package main
+
+// Load-generator mode: caasper-fleet -target http://host:port replays
+// the fleet's synthetic traces against a running caasper-serve instance
+// instead of simulating locally — the serve smoke stage and the ingest
+// throughput numbers both come from here. Tenants are registered over
+// the admin API, their samples posted as NDJSON batches (per-tenant
+// ordering preserved, 429 backpressure honoured via Retry-After), and
+// the run reports ingest throughput plus client-side latency
+// percentiles and the server's own /metrics table.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"caasper"
+	"caasper/internal/obs"
+)
+
+// loadgenConfig is the subset of fleet flags the -target mode consumes.
+type loadgenConfig struct {
+	target    string
+	tenants   int
+	samples   int // samples posted per tenant (the -minutes flag)
+	batch     int // samples per POST
+	conns     int // concurrent posters (tenants are sharded across them)
+	policy    string
+	workloads []string
+	seed      uint64
+	maxCores  int
+}
+
+// runLoadgen drives one load-generation run and prints its report.
+func runLoadgen(cfg loadgenConfig, session *obs.Session) error {
+	if cfg.samples <= 0 {
+		cfg.samples = 1440
+	}
+	if cfg.batch <= 0 {
+		cfg.batch = 60
+	}
+	if cfg.conns <= 0 {
+		cfg.conns = 8
+	}
+	base := strings.TrimRight(cfg.target, "/")
+	client := &http.Client{
+		Timeout:   30 * time.Second,
+		Transport: &http.Transport{MaxIdleConnsPerHost: cfg.conns * 2},
+	}
+
+	// Generate every tenant's sample stream up front so the timed
+	// section measures ingest, not trace synthesis.
+	type tenantLoad struct {
+		id    string
+		lines []string // pre-encoded NDJSON batch bodies
+	}
+	loads := make([]tenantLoad, cfg.tenants)
+	for i := range loads {
+		wname := cfg.workloads[i%len(cfg.workloads)]
+		gen, ok := caasper.Workloads[wname]
+		if !ok {
+			return fmt.Errorf("unknown workload %q", wname)
+		}
+		tr := gen(cfg.seed + uint64(i))
+		usage := tr.Values
+		var batches []string
+		var b strings.Builder
+		for s := 0; s < cfg.samples; s++ {
+			fmt.Fprintf(&b, `{"cpu":%.4f}`+"\n", usage[s%len(usage)])
+			if (s+1)%cfg.batch == 0 || s == cfg.samples-1 {
+				batches = append(batches, b.String())
+				b.Reset()
+			}
+		}
+		loads[i] = tenantLoad{id: fmt.Sprintf("t%02d", i), lines: batches}
+	}
+
+	maxC := cfg.maxCores
+	if maxC <= 0 {
+		maxC = 16
+	}
+	for _, ld := range loads {
+		body := fmt.Sprintf(`{"policy":%q,"min_cores":1,"max_cores":%d,"initial_cores":2}`, cfg.policy, maxC)
+		if err := put(client, base+"/v1/tenants/"+ld.id, body); err != nil {
+			return fmt.Errorf("registering %s: %w", ld.id, err)
+		}
+	}
+
+	// The timed ingest: each worker owns a stripe of tenants so one
+	// tenant's batches always arrive in order.
+	lat := obs.NewRegistry().Histogram("loadgen.post_latency")
+	var retries int64
+	var retriesMu sync.Mutex
+	start := time.Now()
+	errCh := make(chan error, cfg.conns)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := w; j < len(loads); j += cfg.conns {
+				for _, body := range loads[j].lines {
+					if err := postWithRetry(client, base+"/v1/tenants/"+loads[j].id+"/samples", body, lat, &retries, &retriesMu); err != nil {
+						errCh <- fmt.Errorf("tenant %s: %w", loads[j].id, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+
+	total := int64(cfg.tenants) * int64(cfg.samples)
+	perMinute := float64(total) / elapsed.Minutes()
+	fmt.Printf("loadgen: %d tenants × %d samples = %d samples in %v\n",
+		cfg.tenants, cfg.samples, total, elapsed.Round(time.Millisecond))
+	fmt.Printf("loadgen: %.0f samples/minute (%d posts, %d retried on 429)\n",
+		perMinute, lat.Count(), retries)
+	fmt.Printf("loadgen: client POST latency p50 %.2fms p99 %.2fms max %.2fms\n",
+		lat.Quantile(0.50)/1e6, lat.Quantile(0.99)/1e6, lat.Max()/1e6)
+	session.Metrics.Gauge("loadgen.samples_per_minute").Set(perMinute)
+
+	// The server's own view: decision counts and decision latency come
+	// from its /metrics table.
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("fetching server metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nserver metrics:\n%s", raw)
+	return nil
+}
+
+func put(client *http.Client, url, body string) error {
+	req, err := http.NewRequest(http.MethodPut, url, strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		raw, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(raw)))
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// postWithRetry posts one NDJSON batch, honouring 429 Retry-After with a
+// bounded number of retries so backpressure slows the generator down
+// instead of dropping samples.
+func postWithRetry(client *http.Client, url, body string, lat *obs.Histogram, retries *int64, mu *sync.Mutex) error {
+	for attempt := 0; attempt < 50; attempt++ {
+		t0 := time.Now()
+		resp, err := client.Post(url, "application/x-ndjson", strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		lat.ObserveSince(t0)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusAccepted:
+			return nil
+		case resp.StatusCode == http.StatusTooManyRequests:
+			mu.Lock()
+			*retries++
+			mu.Unlock()
+			delay := 10 * time.Millisecond
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+					// Cap the documented one-second hint: local
+					// queues drain far faster than that.
+					delay = time.Duration(secs) * 100 * time.Millisecond
+				}
+			}
+			time.Sleep(delay)
+		default:
+			return fmt.Errorf("post: %s", resp.Status)
+		}
+	}
+	return fmt.Errorf("post: gave up after 50 backpressure retries")
+}

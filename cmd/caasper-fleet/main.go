@@ -17,12 +17,18 @@
 // tick):
 //
 //	caasper-fleet -tenants 4 -faults "restart-fail:p=0.2,metrics-gap:p=0.05,sched-pressure:p=0.5:dur=60:cores=4" -fault-seed 7
+//
+// With -target the binary becomes a load generator instead: it registers
+// its tenants against a running caasper-serve instance and replays their
+// traces as NDJSON sample batches, reporting ingest throughput and
+// decision-latency percentiles:
+//
+//	caasper-fleet -target http://127.0.0.1:8080 -tenants 32 -minutes 1440
 package main
 
 import (
 	"flag"
 	"fmt"
-	"net/http"
 	_ "net/http/pprof"
 	"os"
 	"runtime/pprof"
@@ -54,6 +60,9 @@ func main() {
 		engine       = flag.String("engine", "stepped", "tick engine: stepped (minute-by-minute reference) or events (discrete-event wake queue; byte-identical output)")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the fleet run to this file")
+		target       = flag.String("target", "", "load-generator mode: replay traces against a caasper-serve URL instead of simulating")
+		batchSize    = flag.Int("batch", 60, "samples per POST in -target mode")
+		conns        = flag.Int("conns", 8, "concurrent posters in -target mode")
 	)
 	var cli obs.CLIConfig
 	cli.Register(flag.CommandLine)
@@ -65,14 +74,13 @@ func main() {
 	}
 	defer session.Finish(os.Stdout)
 
-	if *pprofAddr != "" {
-		go func() {
-			session.Log.Infof("pprof listening on http://%s/debug/pprof/", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				session.Log.Errorf("pprof server: %v", err)
-			}
-		}()
+	if _, err := obs.StartPprof(*pprofAddr, session.Log); err != nil {
+		fatal(err)
 	}
+
+	// Graceful SIGINT/SIGTERM: an interrupted run flushes its -events
+	// NDJSON sink instead of truncating the audit stream mid-event.
+	session.FlushOnSignal(os.Stdout, "caasper-fleet")
 
 	if *tenantCount < 1 {
 		fatal(fmt.Errorf("-tenants must be ≥ 1"))
@@ -81,6 +89,24 @@ func main() {
 	rnames := splitList(*recNames)
 	if len(wnames) == 0 || len(rnames) == 0 {
 		fatal(fmt.Errorf("-workloads and -recommender must be non-empty"))
+	}
+
+	if *target != "" {
+		err := runLoadgen(loadgenConfig{
+			target:    *target,
+			tenants:   *tenantCount,
+			samples:   *minutes,
+			batch:     *batchSize,
+			conns:     *conns,
+			policy:    rnames[0],
+			workloads: wnames,
+			seed:      *seed,
+			maxCores:  *maxCores,
+		}, session)
+		if err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	tenants := make([]caasper.TenantSpec, 0, *tenantCount)

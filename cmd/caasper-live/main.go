@@ -20,11 +20,8 @@ package main
 import (
 	"flag"
 	"fmt"
-	"net/http"
 	_ "net/http/pprof"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"caasper"
@@ -55,26 +52,14 @@ func main() {
 	}
 	defer session.Finish(os.Stdout)
 
-	if *pprofAddr != "" {
-		go func() {
-			session.Log.Infof("pprof listening on http://%s/debug/pprof/", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				session.Log.Errorf("pprof server: %v", err)
-			}
-		}()
+	if _, err := obs.StartPprof(*pprofAddr, session.Log); err != nil {
+		fatal(err)
 	}
 
 	// Graceful SIGINT/SIGTERM: flush the event sink and print the obs
 	// summary before exiting, so an interrupted run still yields a valid
 	// NDJSON stream and its metrics.
-	sigCh := make(chan os.Signal, 1)
-	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		sig := <-sigCh
-		fmt.Fprintf(os.Stderr, "\ncaasper-live: %v — flushing telemetry\n", sig)
-		session.Finish(os.Stdout)
-		os.Exit(130)
-	}()
+	session.FlushOnSignal(os.Stdout, "caasper-live")
 
 	sched, defInitial, defMax, err := buildSchedule(*workloadName, *seed)
 	if err != nil {

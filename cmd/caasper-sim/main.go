@@ -65,6 +65,7 @@ func main() {
 		fatal(err)
 	}
 	defer session.Finish(os.Stdout)
+	session.FlushOnSignal(os.Stdout, "caasper-sim")
 
 	tr, err := loadTrace(*workloadName, *alibabaID, *traceFile, *seed)
 	if err != nil {

@@ -40,6 +40,7 @@ func main() {
 		fatal(err)
 	}
 	defer session.Finish(os.Stderr) // CSV owns stdout
+	session.FlushOnSignal(os.Stderr, "caasper-trace")
 
 	if *list {
 		names := make([]string, 0, len(caasper.Workloads))

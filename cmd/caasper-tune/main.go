@@ -39,6 +39,7 @@ func main() {
 		fatal(err)
 	}
 	defer session.Finish(os.Stdout)
+	session.FlushOnSignal(os.Stdout, "caasper-tune")
 
 	var tr *caasper.Trace
 	if *alibabaID != "" {

@@ -1,9 +1,11 @@
-package baselines
+package baselines_test
 
 import (
 	"testing"
 
 	"caasper/internal/recommend"
+
+	. "caasper/internal/baselines"
 )
 
 // Compile-time interface checks.

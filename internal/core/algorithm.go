@@ -198,6 +198,61 @@ func (s *Scratch) Explanation() string {
 	return string(s.exp)
 }
 
+// MemoState is the serialisable form of a Scratch's decision memo and
+// explanation template — what a checkpoint writes out so a restarted
+// decision loop resumes with an identical warm cache: the first
+// post-restore decision hits or misses the memo exactly as the
+// uninterrupted loop would, keeping audit streams (the "memo" field) and
+// MemoHits/MemoMisses counters bit-identical across the restart.
+type MemoState struct {
+	// Valid mirrors the memo's armed flag; the zero MemoState restores a
+	// cold scratch.
+	Valid bool
+	// Cores and Window are the memo key: the clamped allocation and the
+	// preprocessed usage window of the last full evaluation.
+	Cores  int
+	Window []float64
+	// Decision is the memoised result.
+	Decision Decision
+	// ExpKind and ExpPeak are the lazy-explanation template state (which
+	// prose template Explanation() rebuilds, and its one extra operand).
+	ExpKind uint8
+	ExpPeak float64
+	// Now is the audit clock stamped on the next decision event.
+	Now int64
+}
+
+// MemoSnapshot copies out the scratch's memo and explanation-template
+// state. The returned Window is a fresh slice, safe to retain.
+func (s *Scratch) MemoSnapshot() MemoState {
+	return MemoState{
+		Valid:    s.memoValid,
+		Cores:    s.memoCores,
+		Window:   append([]float64(nil), s.memoClean...),
+		Decision: s.memoDec,
+		ExpKind:  uint8(s.expKind),
+		ExpPeak:  s.expPeak,
+		Now:      s.Now,
+	}
+}
+
+// RestoreMemo re-arms a snapshotted memo on a scratch that will be used
+// with this recommender, binding the scratch's owner so the next
+// DecideScratch call does not wipe the restored state. The scratch's Sink
+// survives, mirroring the reset contract.
+func (r *Recommender) RestoreMemo(sc *Scratch, m MemoState) {
+	if sc.owner != r {
+		*sc = Scratch{owner: r, Sink: sc.Sink}
+	}
+	sc.Now = m.Now
+	sc.memoValid = m.Valid
+	sc.memoCores = m.Cores
+	sc.memoClean = append(sc.memoClean[:0], m.Window...)
+	sc.memoDec = m.Decision
+	sc.expKind = expKind(m.ExpKind)
+	sc.expPeak = m.ExpPeak
+}
+
 // emitDecision writes the per-evaluation audit event. Callers guard on
 // Sink being enabled so the disabled path costs one branch.
 func (sc *Scratch) emitDecision(d Decision, memoHit bool) {

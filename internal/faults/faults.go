@@ -225,6 +225,12 @@ type Injector struct {
 	// pressureWindow is the last sched-pressure window whose activation
 	// edge was emitted (-1 before any query).
 	pressureWindow int64
+	// src/rng are the reusable draw PRNG: re-seeded from the draw key on
+	// every query, so each value still depends only on (seed, kind, pod,
+	// time) — but the catch-up scans of NextGap make thousands of draws
+	// per wake, and reusing one source keeps them allocation-free.
+	src rand.Source
+	rng *rand.Rand
 }
 
 // New builds an injector for the spec. A nil or empty spec returns a nil
@@ -233,7 +239,8 @@ func New(spec *Spec, seed uint64) *Injector {
 	if spec.Empty() {
 		return nil
 	}
-	return &Injector{spec: spec, seed: seed, pressureWindow: -1}
+	src := rand.NewSource(0)
+	return &Injector{spec: spec, seed: seed, pressureWindow: -1, src: src, rng: rand.New(src)}
 }
 
 // Seed returns the injector's seed (0 for nil).
@@ -276,21 +283,36 @@ func kindSalt(k Kind) uint64 {
 	}
 }
 
-// draw returns a uniform [0,1) value for the (kind, pod, t) key. It
-// builds a fresh math/rand PRNG per draw so the value depends only on the
-// key, never on how many draws other layers made before this one.
-func (in *Injector) draw(k Kind, pod string, t int64) float64 {
+// key folds the seed, kind salt and pod name into the time-independent
+// prefix of a draw key, hoisted out of NextGap's per-minute scans.
+func (in *Injector) key(k Kind, pod string) uint64 {
 	h := in.seed ^ kindSalt(k)
 	for i := 0; i < len(pod); i++ {
 		h = (h ^ uint64(pod[i])) * 0x100000001B3 // FNV-1a fold
 	}
+	return h
+}
+
+// drawAt returns a uniform [0,1) value for a key prefix and time. It
+// fully re-seeds the injector's PRNG from the mixed key, so the value
+// depends only on the key, never on how many draws other layers made
+// before this one — the same stream a fresh per-draw PRNG would yield,
+// without the per-draw allocation. The injector is queried from the
+// single-threaded control loop of one run, so the shared PRNG is safe.
+func (in *Injector) drawAt(h uint64, t int64) float64 {
 	h ^= uint64(t) * 0xFF51_AFD7_ED55_8CCD
 	// splitmix64 finalizer: decorrelate adjacent seconds before the
 	// mix becomes a math/rand seed.
 	h ^= h >> 33
 	h *= 0xC4CE_B9FE_1A85_EC53
 	h ^= h >> 33
-	return rand.New(rand.NewSource(int64(h))).Float64()
+	in.src.Seed(int64(h))
+	return in.rng.Float64()
+}
+
+// draw returns a uniform [0,1) value for the (kind, pod, t) key.
+func (in *Injector) draw(k Kind, pod string, t int64) float64 {
+	return in.drawAt(in.key(k, pod), t)
 }
 
 // emit sends one fault event when the sink is enabled.
@@ -347,6 +369,31 @@ func (in *Injector) DropSample(pod string, now int64) bool {
 	in.Stats.Counter("fault.metrics_gaps").Inc()
 	in.emit(now, "fault.metrics-gap", obs.S("pod", pod))
 	return true
+}
+
+// NextGap returns the first time in [from, to) at which DropSample would
+// drop the pod's sample, or −1 when every draw in the span passes. It is
+// a pure probe — no counts, no events, no state — so an engine that
+// batches time can pre-schedule the exact gap minutes of a span and keep
+// its bulk catch-up path between them, firing DropSample only at the
+// minutes that actually gap. The draws are the same (seed, kind, pod,
+// time)-keyed values DropSample makes, so probe-then-fire is
+// byte-identical to the per-minute loop.
+func (in *Injector) NextGap(pod string, from, to int64) int64 {
+	if in == nil || from >= to {
+		return -1
+	}
+	f, ok := in.spec.Get(MetricsGap)
+	if !ok || f.P <= 0 {
+		return -1
+	}
+	h := in.key(MetricsGap, pod)
+	for t := from; t < to; t++ {
+		if in.drawAt(h, t) < f.P {
+			return t
+		}
+	}
+	return -1
 }
 
 // PressureCores returns the per-node capacity (cores) currently stolen

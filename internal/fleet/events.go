@@ -28,12 +28,13 @@
 //     decision tick at or after its trace's next inflection point.
 //
 // Fault draws are (seed, kind, pod, time)-keyed and stateless, so skipped
-// minutes draw identically when caught up later: metrics-gap tenants
-// replay their per-minute sample draws inside the catch-up walk, and the
-// fleet-level scheduling pressure advances one poll per window
-// (faults.Injector.AdvancePressure). Per-tenant fault events land in the
-// same per-tenant buffers the stepped engine uses, so the replayed NDJSON
-// stream is byte-identical, at every worker count.
+// minutes draw identically when caught up later: metrics-gap minutes are
+// pre-scheduled with a pure probe (faults.Injector.NextGap) so gap-heavy
+// tenants keep the bulk catch-up path between the minutes that actually
+// drop, and the fleet-level scheduling pressure advances one poll per
+// window (faults.Injector.AdvancePressure). Per-tenant fault events land
+// in the same per-tenant buffers the stepped engine uses, so the replayed
+// NDJSON stream is byte-identical, at every worker count.
 package fleet
 
 import (
@@ -238,9 +239,12 @@ func (s *runState) runEvents() error {
 // per-minute arithmetic operand are constant, so:
 //
 //   - the observation window advances with one bulk append (RunObserver) —
-//     unless the tenant has metrics-gap faults or a recommender without
-//     the bulk form, in which case the stepped engine's per-minute scrape
-//     loop runs verbatim (same draws, same events, same observations);
+//     metrics-gap tenants first fire their pre-scheduled gap draws
+//     (NextGap probe, then DropSample per gap minute for counts and
+//     events) and split the append around a first-minute gap, which is
+//     the only minute whose observed value a gap can change; only a
+//     recommender without the bulk form runs the stepped engine's
+//     per-minute scrape loop verbatim;
 //   - slack/insufficiency accumulate via tight constant-operand loops:
 //     repeated float64 addition has no closed form that reproduces the
 //     same rounding, and bit-equality with the stepped engine is the
@@ -285,10 +289,9 @@ func (t *tenant) advanceTo(end, sevFrom int) {
 			usage = limf
 		}
 
-		if t.bulk == nil || t.gap {
-			// Per-minute scrape: metrics-gap draws are keyed per minute and
-			// must happen (counts, events), and a recommender without
-			// ObserveRun needs its per-minute calls.
+		if t.bulk == nil {
+			// Per-minute scrape: a recommender without ObserveRun needs its
+			// per-minute calls (and its per-minute gap draws with them).
 			for m := now; m < re; m++ {
 				observed := usage
 				if t.inj.DropSample(t.pod, int64(m)) {
@@ -297,6 +300,31 @@ func (t *tenant) advanceTo(end, sevFrom int) {
 				t.prevUsage = usage
 				t.rec.Observe(m, observed)
 			}
+		} else if t.gap {
+			// Pre-scheduled gaps: within this walk the usage is constant, so
+			// after its first minute prevUsage == usage and a dropped sample
+			// observes the very value an intact one would — only a gap at
+			// the first minute (where prevUsage may still hold the previous
+			// run's usage) changes an observation. Probe the exact gap
+			// minutes (NextGap), fire DropSample at each so counts and
+			// events land per minute exactly as the per-minute loop's, and
+			// advance the window in at most two bulk appends.
+			first := int64(-1)
+			for g := t.inj.NextGap(t.pod, int64(now), int64(re)); g >= 0; g = t.inj.NextGap(t.pod, g+1, int64(re)) {
+				t.inj.DropSample(t.pod, g)
+				if first < 0 {
+					first = g
+				}
+			}
+			if first == int64(now) && t.prevUsage != usage {
+				t.rec.Observe(now, t.prevUsage)
+				if n > 1 {
+					t.bulk.ObserveRun(now+1, usage, n-1)
+				}
+			} else {
+				t.bulk.ObserveRun(now, usage, n)
+			}
+			t.prevUsage = usage
 		} else {
 			t.prevUsage = usage
 			t.bulk.ObserveRun(now, usage, n)

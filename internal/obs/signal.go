@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+// HandleSignal is the shared interrupt path of every CLI that owns a
+// session: it announces the signal on errw, flushes the event sink and
+// prints the metrics summary via Finish, and returns the conventional
+// exit code 128+signum (130 for SIGINT, 143 for SIGTERM). It is the
+// testable core of FlushOnSignal — tests drive it directly instead of
+// delivering real signals — and Finish's idempotence keeps a racing
+// normal exit harmless.
+func (s *Session) HandleSignal(sig os.Signal, out, errw io.Writer, name string) int {
+	fmt.Fprintf(errw, "\n%s: %v — flushing telemetry\n", name, sig)
+	s.Finish(out)
+	if ss, ok := sig.(syscall.Signal); ok {
+		return 128 + int(ss)
+	}
+	return 1
+}
+
+// FlushOnSignal installs the graceful SIGINT/SIGTERM handler: on the
+// first signal the session is flushed (HandleSignal) and the process
+// exits with 128+signum, so an interrupted -events run leaves a valid,
+// fully flushed NDJSON file instead of a stream truncated mid-event.
+// name prefixes the diagnostic (the CLI's own name). The returned stop
+// function uninstalls the handler; callers that drain on their own
+// (servers with a shutdown sequence) use it to take over signal handling.
+func (s *Session) FlushOnSignal(out io.Writer, name string) (stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig, ok := <-ch
+		if !ok {
+			return
+		}
+		os.Exit(s.HandleSignal(sig, out, os.Stderr, name))
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(ch)
+		})
+	}
+}
+
+// StartPprof serves net/http/pprof on addr. The listener is bound
+// synchronously, so a bad address fails fast with an error before the
+// run starts instead of a goroutine logging the failure after startup
+// has raced past it; the HTTP serving itself then proceeds in the
+// background. An empty addr is a no-op. The returned address is the
+// bound one (useful with ":0").
+func StartPprof(addr string, log *Logger) (string, error) {
+	if addr == "" {
+		return "", nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: pprof listener: %w", err)
+	}
+	log.Infof("pprof listening on http://%s/debug/pprof/", ln.Addr())
+	go func() {
+		// DefaultServeMux carries the net/http/pprof handlers the CLI
+		// imported for its side effects.
+		if err := http.Serve(ln, nil); err != nil {
+			log.Errorf("pprof server: %v", err)
+		}
+	}()
+	return ln.Addr().String(), nil
+}

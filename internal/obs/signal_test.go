@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// TestHandleSignalFlushesNDJSON is the regression test for the
+// interrupted -events run: before the shared helper, caasper-fleet and
+// caasper-sim exited from the default signal disposition with the NDJSON
+// sink's bufio buffer unflushed, truncating the audit stream mid-event.
+// HandleSignal must leave a valid, complete NDJSON file and return the
+// conventional 128+signum exit code.
+func TestHandleSignalFlushesNDJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.ndjson")
+	cfg := CLIConfig{EventsPath: path}
+	s, err := cfg.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Emit fewer bytes than the bufio buffer holds, so nothing reaches the
+	// file until a flush — exactly the window the truncation bug lived in.
+	for i := 0; i < 10; i++ {
+		s.Events.Emit(Event{T: int64(i), Type: "test.sample", Fields: []Field{I("i", int64(i))}})
+	}
+	if raw, err := os.ReadFile(path); err != nil || len(raw) != 0 {
+		t.Fatalf("precondition: events unexpectedly flushed early (%d bytes, err %v)", len(raw), err)
+	}
+
+	var out, errw bytes.Buffer
+	if code := s.HandleSignal(syscall.SIGTERM, &out, &errw, "caasper-test"); code != 143 {
+		t.Fatalf("exit code = %d, want 143 (128+SIGTERM)", code)
+	}
+	if !bytes.Contains(errw.Bytes(), []byte("caasper-test")) {
+		t.Fatalf("diagnostic %q does not name the CLI", errw.String())
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	lines := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var v map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &v); err != nil {
+			t.Fatalf("line %d is not valid JSON after interrupt flush: %v\n%s", lines+1, err, sc.Text())
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines != 10 {
+		t.Fatalf("flushed %d events, want all 10", lines)
+	}
+
+	// A racing normal exit must stay harmless (Finish is idempotent).
+	if err := s.Finish(&out); err != nil {
+		t.Fatalf("Finish after HandleSignal: %v", err)
+	}
+}
+
+// TestFlushOnSignalStop pins that the returned stop function uninstalls
+// the handler without firing it.
+func TestFlushOnSignalStop(t *testing.T) {
+	s, err := (&CLIConfig{}).Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := s.FlushOnSignal(&bytes.Buffer{}, "caasper-test")
+	stop()
+	stop() // double-stop must not panic the close
+}
+
+// TestStartPprofBindsSynchronously pins the fail-fast contract: a bad
+// address errors before the run starts, and a good one serves pprof on
+// the bound listener immediately.
+func TestStartPprofBindsSynchronously(t *testing.T) {
+	log := NewLogger(&bytes.Buffer{}, 0)
+	if _, err := StartPprof("256.0.0.1:99999", log); err == nil {
+		t.Fatal("StartPprof accepted an unbindable address")
+	}
+	addr, err := StartPprof("127.0.0.1:0", log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("pprof not reachable at %s: %v", addr, err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof status = %d", resp.StatusCode)
+	}
+	if addrEmpty, err := StartPprof("", log); err != nil || addrEmpty != "" {
+		t.Fatalf("empty addr must be a no-op, got (%q, %v)", addrEmpty, err)
+	}
+}

@@ -1,0 +1,377 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"caasper/internal/obs"
+	"caasper/internal/recommend"
+)
+
+// routes builds the HTTP surface:
+//
+//	PUT  /v1/tenants/{id}                register (or reconfigure) a tenant
+//	GET  /v1/tenants/{id}                tenant status
+//	POST /v1/tenants/{id}/samples        ingest NDJSON samples {"cpu": 1.5}
+//	GET  /v1/tenants/{id}/decisions      decision stream (since=, explain=1)
+//	GET  /v1/admin/tenants               list tenants with their ranges
+//	PUT  /v1/admin/tenants/{id}/range    retune {"min_cores","max_cores"}
+//	PUT  /v1/admin/tenants/{id}/policy   hot-swap {"policy": "vpa"}
+//	POST /v1/admin/snapshot              checkpoint now
+//	GET  /metrics                        runtime metrics table
+//	GET  /healthz                        liveness
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /v1/tenants/{id}", s.span("tenant.put", s.handleTenantPut))
+	mux.HandleFunc("GET /v1/tenants/{id}", s.span("tenant.get", s.handleTenantGet))
+	mux.HandleFunc("POST /v1/tenants/{id}/samples", s.span("samples.post", s.handleSamples))
+	mux.HandleFunc("GET /v1/tenants/{id}/decisions", s.span("decisions.get", s.handleDecisions))
+	mux.HandleFunc("GET /v1/admin/tenants", s.span("admin.list", s.handleAdminList))
+	mux.HandleFunc("PUT /v1/admin/tenants/{id}/range", s.span("admin.range", s.handleAdminRange))
+	mux.HandleFunc("PUT /v1/admin/tenants/{id}/policy", s.span("admin.policy", s.handleAdminPolicy))
+	mux.HandleFunc("POST /v1/admin/snapshot", s.span("admin.snapshot", s.handleAdminSnapshot))
+	mux.HandleFunc("GET /metrics", s.span("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+// span wraps a handler with request-span telemetry: a latency sample in
+// the registry and, when events are on, one "serve.span" event stamped
+// with milliseconds since server start.
+func (s *Server) span(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		dur := s.opts.Metrics.Histogram("serve.request_latency").ObserveSince(t0)
+		s.opts.Metrics.Counter("serve.requests").Inc()
+		if s.events.Enabled() {
+			s.events.Emit(obs.Event{T: time.Since(s.start).Milliseconds(), Type: "serve.span", Fields: []obs.Field{
+				obs.S("route", route),
+				obs.I("status", int64(sw.status)),
+				obs.I("dur_us", dur.Microseconds()),
+			}})
+		}
+	}
+}
+
+// statusWriter captures the response status for spans.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+// lookup resolves a tenant (shard lock, briefly) and hands it to fn
+// under the tenant's own lock, or answers 404.
+func (s *Server) lookup(w http.ResponseWriter, id string, fn func(*tenantState)) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	t, ok := sh.tenants[id]
+	sh.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown tenant %q", id)
+		return
+	}
+	t.mu.Lock()
+	fn(t)
+	t.mu.Unlock()
+}
+
+// handleTenantPut registers a tenant (idempotent re-PUT reconfigures it
+// from scratch: fresh window, fresh decision log).
+func (s *Server) handleTenantPut(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var cfg TenantConfig
+	if err := json.NewDecoder(r.Body).Decode(&cfg); err != nil {
+		httpError(w, http.StatusBadRequest, "tenant config: %v", err)
+		return
+	}
+	t, err := s.newTenant(id, cfg)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Snapshot the status row before publishing t: once it is in the
+	// map a concurrent ingest could start mutating it.
+	row := s.statusOf(t)
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	_, existed := sh.tenants[id]
+	sh.tenants[id] = t
+	sh.mu.Unlock()
+	status := http.StatusCreated
+	if existed {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, row)
+}
+
+// tenantStatus is the status body of GET /v1/tenants/{id} and the admin
+// list rows.
+type tenantStatus struct {
+	ID       string `json:"id"`
+	Policy   string `json:"policy"`
+	Cores    int    `json:"cores"`
+	MinCores int    `json:"min_cores"`
+	MaxCores int    `json:"max_cores"`
+	Samples  int    `json:"samples"`
+	Decision int64  `json:"decisions"`
+}
+
+// statusOf snapshots a tenant's status row. Caller holds the tenant lock
+// (or exclusively owns the tenant, as handleTenantPut does pre-insert).
+func (s *Server) statusOf(t *tenantState) tenantStatus {
+	return tenantStatus{
+		ID:       t.id,
+		Policy:   t.cfg.Policy,
+		Cores:    t.cores,
+		MinCores: t.cfg.MinCores,
+		MaxCores: t.cfg.MaxCores,
+		Samples:  t.minute,
+		Decision: t.seq,
+	}
+}
+
+func (s *Server) handleTenantGet(w http.ResponseWriter, r *http.Request) {
+	s.lookup(w, r.PathValue("id"), func(t *tenantState) {
+		writeJSON(w, http.StatusOK, s.statusOf(t))
+	})
+}
+
+// handleSamples ingests an NDJSON body of samples. The whole batch is
+// parsed before anything is enqueued, so a malformed line rejects the
+// request (400) without applying a prefix of it. A full shard queue
+// answers 429 with Retry-After — the backpressure contract.
+func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	t, ok := sh.tenants[id]
+	sh.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown tenant %q", id)
+		return
+	}
+
+	var samples []sample
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var smp sample
+		smp.CPU = -1
+		if err := json.Unmarshal(raw, &smp); err != nil {
+			httpError(w, http.StatusBadRequest, "sample line %d: %v", line, err)
+			return
+		}
+		if smp.CPU < 0 {
+			httpError(w, http.StatusBadRequest, `sample line %d: "cpu" must be present and ≥ 0`, line)
+			return
+		}
+		samples = append(samples, smp)
+	}
+	if err := sc.Err(); err != nil {
+		httpError(w, http.StatusBadRequest, "reading samples: %v", err)
+		return
+	}
+	if len(samples) == 0 {
+		httpError(w, http.StatusBadRequest, "empty sample batch")
+		return
+	}
+
+	select {
+	case sh.queue <- batch{t: t, samples: samples, enq: time.Now()}:
+		s.opts.Metrics.Counter("serve.batches").Inc()
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintf(w, "{\"accepted\":%d}\n", len(samples))
+	default:
+		s.opts.Metrics.Counter("serve.rejected").Inc()
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "ingest queue full (depth %d)", s.opts.QueueDepth)
+	}
+}
+
+// handleDecisions streams the tenant's decision log as NDJSON. since=N
+// skips records with Seq ≤ N (a resume cursor); explain=1 materialises
+// each record's prose explanation.
+func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
+	var since int64
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "since=%q is not a non-negative integer", v)
+			return
+		}
+		since = n
+	}
+	withExplain := r.URL.Query().Get("explain") == "1"
+
+	// Copy the eligible records out under the lock, format outside it.
+	var out []DecisionRecord
+	found := false
+	s.lookup(w, r.PathValue("id"), func(t *tenantState) {
+		found = true
+		for _, rec := range t.log {
+			if rec.Seq > since {
+				out = append(out, rec)
+			}
+		}
+	})
+	if !found {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	enc.SetEscapeHTML(false)
+	for i := range out {
+		if withExplain {
+			out[i].Explanation = explain(out[i])
+		}
+		enc.Encode(out[i])
+	}
+	bw.Flush()
+}
+
+func (s *Server) handleAdminList(w http.ResponseWriter, _ *http.Request) {
+	var rows []tenantStatus
+	for _, id := range s.tenantIDs() {
+		s.lookupQuiet(id, func(t *tenantState) {
+			rows = append(rows, s.statusOf(t))
+		})
+	}
+	if rows == nil {
+		rows = []tenantStatus{}
+	}
+	writeJSON(w, http.StatusOK, rows)
+}
+
+// lookupQuiet is lookup without the HTTP 404 (admin sweeps tolerate a
+// tenant vanishing between the ID listing and the row read).
+func (s *Server) lookupQuiet(id string, fn func(*tenantState)) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	t, ok := sh.tenants[id]
+	sh.mu.Unlock()
+	if !ok {
+		return
+	}
+	t.mu.Lock()
+	fn(t)
+	t.mu.Unlock()
+}
+
+// handleAdminRange retunes a tenant's min/max core range (the Zerops
+// scaling-API verb: adjust the autoscaling bounds, let the autoscaler
+// move inside them). The current allocation is clamped into the new
+// range immediately.
+func (s *Server) handleAdminRange(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		MinCores int `json:"min_cores"`
+		MaxCores int `json:"max_cores"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		httpError(w, http.StatusBadRequest, "range: %v", err)
+		return
+	}
+	if body.MinCores < 1 || body.MaxCores < body.MinCores {
+		httpError(w, http.StatusBadRequest, "range: need 1 ≤ min_cores ≤ max_cores, got [%d, %d]",
+			body.MinCores, body.MaxCores)
+		return
+	}
+	s.lookup(w, r.PathValue("id"), func(t *tenantState) {
+		t.cfg.MinCores = body.MinCores
+		t.cfg.MaxCores = body.MaxCores
+		if t.cores < body.MinCores {
+			t.cores = body.MinCores
+		}
+		if t.cores > body.MaxCores {
+			t.cores = body.MaxCores
+		}
+		writeJSON(w, http.StatusOK, s.statusOf(t))
+	})
+}
+
+// handleAdminPolicy hot-swaps a tenant's recommender without a restart.
+// The new policy starts with a cold observation window (policies have
+// incompatible state shapes); the decision log, sequence numbers and
+// sample clock carry over, so streams resume seamlessly mid-flight.
+func (s *Server) handleAdminPolicy(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Policy string `json:"policy"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil || body.Policy == "" {
+		httpError(w, http.StatusBadRequest, `policy: body must be {"policy": "<name>"}`)
+		return
+	}
+	s.lookup(w, r.PathValue("id"), func(t *tenantState) {
+		cfg := t.cfg
+		cfg.Policy = body.Policy
+		rec, err := recommend.NewByName(cfg.Policy, cfg.settings())
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if in, ok := rec.(recommend.Instrumentable); ok && s.events.Enabled() {
+			in.SetEventSink(s.events)
+		}
+		t.cfg = cfg
+		t.rec = rec
+		writeJSON(w, http.StatusOK, s.statusOf(t))
+	})
+}
+
+func (s *Server) handleAdminSnapshot(w http.ResponseWriter, _ *http.Request) {
+	if s.opts.SnapshotPath == "" {
+		httpError(w, http.StatusConflict, "no snapshot path configured")
+		return
+	}
+	if err := s.Snapshot(s.opts.SnapshotPath); err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"snapshot": s.opts.SnapshotPath})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.opts.Metrics == nil {
+		io.WriteString(w, "metrics disabled\n")
+		return
+	}
+	io.WriteString(w, s.opts.Metrics.Summary())
+}

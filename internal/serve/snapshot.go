@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"caasper/internal/recommend"
+)
+
+// snapshotVersion is the checkpoint format version; Load rejects files
+// from a different major format.
+const snapshotVersion = 1
+
+// snapshotHeader is the first NDJSON line of a checkpoint.
+type snapshotHeader struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	Tenants int    `json:"tenants"`
+}
+
+// snapshotTenant is one tenant's checkpoint line. PolicyState carries
+// the recommend.StateSnapshotter payload (window, total, scratch memo);
+// policies without the interface restore cold, flagged by HasState.
+type snapshotTenant struct {
+	ID       string           `json:"id"`
+	Config   TenantConfig     `json:"config"`
+	Cores    int              `json:"cores"`
+	Minute   int              `json:"minute"`
+	Seq      int64            `json:"seq"`
+	HasState bool             `json:"has_state"`
+	State    recommend.State  `json:"state,omitempty"`
+	Log      []DecisionRecord `json:"log,omitempty"`
+}
+
+// Snapshot checkpoints every tenant to path as versioned NDJSON: one
+// header line, then one line per tenant in sorted ID order. The write is
+// atomic (temp file + rename), so a crash mid-snapshot leaves the
+// previous checkpoint intact. Each tenant serialises under its own
+// lock; in-flight batches for other tenants keep draining.
+func (s *Server) Snapshot(path string) error {
+	ids := s.tenantIDs()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(snapshotHeader{Format: "caasper-serve", Version: snapshotVersion, Tenants: len(ids)}); err != nil {
+		return err
+	}
+	for _, id := range ids {
+		var st snapshotTenant
+		ok := false
+		s.lookupQuiet(id, func(t *tenantState) {
+			st = snapshotTenant{
+				ID:     t.id,
+				Config: t.cfg,
+				Cores:  t.cores,
+				Minute: t.minute,
+				Seq:    t.seq,
+				Log:    t.log,
+			}
+			if snap, can := t.rec.(recommend.StateSnapshotter); can {
+				st.HasState = true
+				st.State = snap.SnapshotState()
+			}
+			ok = true
+		})
+		if !ok {
+			continue
+		}
+		if err := enc.Encode(st); err != nil {
+			return err
+		}
+	}
+
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".snapshot-*")
+	if err != nil {
+		return fmt.Errorf("serve: snapshot: %w", err)
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: snapshot: %w", err)
+	}
+	s.opts.Log.Infof("snapshot: %d tenants → %s", len(ids), path)
+	return nil
+}
+
+// restoreIfPresent loads the checkpoint at path when one exists; a
+// missing file is a cold start, not an error.
+func (s *Server) restoreIfPresent(path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("serve: restore: %w", err)
+	}
+	defer f.Close()
+	return s.Restore(f)
+}
+
+// Restore rebuilds the tenant map from a Snapshot stream. Each tenant is
+// reconstructed from its config (same policy, same knobs) and its
+// serialised state is restored, so the first post-restore decision is
+// bit-identical to the one the snapshotted server would have made next —
+// the round-trip contract pinned by TestSnapshotRestartBitIdentical.
+func (s *Server) Restore(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 64<<20)
+	if !sc.Scan() {
+		return fmt.Errorf("serve: restore: empty snapshot")
+	}
+	var hdr snapshotHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return fmt.Errorf("serve: restore: header: %w", err)
+	}
+	if hdr.Format != "caasper-serve" || hdr.Version != snapshotVersion {
+		return fmt.Errorf("serve: restore: unsupported snapshot format %q version %d", hdr.Format, hdr.Version)
+	}
+	n := 0
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var st snapshotTenant
+		if err := json.Unmarshal(sc.Bytes(), &st); err != nil {
+			return fmt.Errorf("serve: restore: tenant line %d: %w", n+1, err)
+		}
+		t, err := s.newTenant(st.ID, st.Config)
+		if err != nil {
+			return fmt.Errorf("serve: restore: tenant %q: %w", st.ID, err)
+		}
+		t.cores = st.Cores
+		t.minute = st.Minute
+		t.seq = st.Seq
+		t.log = st.Log
+		if st.HasState {
+			snap, can := t.rec.(recommend.StateSnapshotter)
+			if !can {
+				return fmt.Errorf("serve: restore: tenant %q: policy %q lost its snapshot capability", st.ID, st.Config.Policy)
+			}
+			if err := snap.RestoreState(st.State); err != nil {
+				return fmt.Errorf("serve: restore: tenant %q: %w", st.ID, err)
+			}
+		}
+		sh := s.shardFor(st.ID)
+		sh.mu.Lock()
+		sh.tenants[st.ID] = t
+		sh.mu.Unlock()
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("serve: restore: %w", err)
+	}
+	if n != hdr.Tenants {
+		return fmt.Errorf("serve: restore: snapshot truncated: header says %d tenants, found %d", hdr.Tenants, n)
+	}
+	s.opts.Log.Infof("restore: %d tenants from snapshot", n)
+	return nil
+}

@@ -22,6 +22,8 @@
 // unbounded-history implementation always wins over the memory bound.
 package window
 
+import "fmt"
+
 // Ring is a bounded sliding window over float64 samples. The zero value
 // is an unbounded window (equivalent to a plain growing slice); use New
 // for a fixed capacity. A Ring is single-goroutine state, like the
@@ -146,11 +148,17 @@ func (r *Ring) View() []float64 {
 }
 
 // Tail returns the most recent n retained samples (all of them when
-// n ≥ Len). Same aliasing rules as View.
+// n ≥ Len, none when n ≤ 0). Same aliasing rules as View. A negative n is
+// clamped to 0 rather than panicking: callers compute tail lengths from
+// configuration deltas (window − horizon and the like), and a misconfigured
+// difference must degrade to "no samples", not a slice-bounds fault.
 func (r *Ring) Tail(n int) []float64 {
 	v := r.View()
 	if n >= len(v) {
 		return v
+	}
+	if n < 0 {
+		n = 0
 	}
 	return v[len(v)-n:]
 }
@@ -161,4 +169,42 @@ func (r *Ring) Reset() {
 	if r.capacity == 0 {
 		r.buf = r.buf[:0]
 	}
+}
+
+// Snapshot appends the retained samples (oldest first) to dst and returns
+// the extended slice together with the total-pushed count — the
+// serialisable form of the window a checkpoint writes out. Restore on a
+// Ring of the same capacity rebuilds bit-identical state.
+func (r *Ring) Snapshot(dst []float64) ([]float64, int) {
+	return append(dst, r.View()...), r.total
+}
+
+// Restore rebuilds the window from a Snapshot: values are the retained
+// samples oldest-first and total the number ever pushed. The restored
+// state — buffer layout, total, View — is bit-identical to the Ring the
+// snapshot was taken from, which is what lets a restarted server resume
+// mid-window with unchanged subsequent decisions.
+func (r *Ring) Restore(values []float64, total int) error {
+	if total < len(values) {
+		return fmt.Errorf("window: snapshot total %d < %d retained samples", total, len(values))
+	}
+	if r.capacity > 0 {
+		if len(values) > r.capacity {
+			return fmt.Errorf("window: snapshot holds %d samples, capacity is %d", len(values), r.capacity)
+		}
+		if total > r.capacity && len(values) != r.capacity {
+			return fmt.Errorf("window: saturated snapshot (total %d) retains %d of %d samples", total, len(values), r.capacity)
+		}
+	} else if total != len(values) {
+		return fmt.Errorf("window: unbounded snapshot total %d != %d retained samples", total, len(values))
+	}
+	r.Reset()
+	// Replaying the values from the pre-window total lands every sample in
+	// the slot (total mod capacity) it originally occupied, so View reads
+	// from the same offset as the snapshotted ring.
+	r.total = total - len(values)
+	for _, v := range values {
+		r.Push(v)
+	}
+	return nil
 }

@@ -133,3 +133,101 @@ func TestRingBoundedMemory(t *testing.T) {
 		t.Fatalf("Len=%d Total=%d", r.Len(), r.Total())
 	}
 }
+
+// TestRingTailEdgeCases: Tail must clamp rather than panic across the full
+// edge-case grid — negative n (the former slice-bounds panic), zero, the
+// exact retained length and beyond — in both bounded and unbounded mode.
+func TestRingTailEdgeCases(t *testing.T) {
+	for _, capacity := range []int{0, 5} {
+		mode := "bounded"
+		if capacity == 0 {
+			mode = "unbounded"
+		}
+		r := New(capacity)
+		for i := 0; i < 12; i++ {
+			r.Push(float64(i))
+		}
+		n := r.Len()
+		for _, tc := range []struct {
+			n, wantLen int
+		}{
+			{-1, 0}, {-100, 0}, {0, 0}, {1, 1}, {n, n}, {n + 1, n}, {n + 100, n},
+		} {
+			got := r.Tail(tc.n)
+			if len(got) != tc.wantLen {
+				t.Fatalf("%s: Tail(%d) len = %d, want %d", mode, tc.n, len(got), tc.wantLen)
+			}
+			if tc.wantLen > 0 && got[tc.wantLen-1] != 11 {
+				t.Fatalf("%s: Tail(%d) last = %v, want 11", mode, tc.n, got[tc.wantLen-1])
+			}
+		}
+		// An empty window: every n degrades to the empty tail.
+		empty := New(capacity)
+		for _, n := range []int{-3, 0, 1, 7} {
+			if got := empty.Tail(n); len(got) != 0 {
+				t.Fatalf("%s empty: Tail(%d) = %v, want empty", mode, n, got)
+			}
+		}
+	}
+}
+
+// TestRingSnapshotRestore: a restored ring must be bit-identical to the
+// snapshotted one — same View, Total, Len and, critically, the same
+// internal offset, so subsequent pushes land in the same slots.
+func TestRingSnapshotRestore(t *testing.T) {
+	for _, capacity := range []int{0, 1, 5, 40} {
+		for _, pushes := range []int{0, 3, 5, 7, 40, 41, 97} {
+			if capacity == 0 && pushes > 50 {
+				continue
+			}
+			orig := New(capacity)
+			for i := 0; i < pushes; i++ {
+				orig.Push(float64(i) * 1.5)
+			}
+			vals, total := orig.Snapshot(nil)
+			if total != pushes {
+				t.Fatalf("cap=%d pushes=%d: Snapshot total = %d", capacity, pushes, total)
+			}
+			rest := New(capacity)
+			if err := rest.Restore(vals, total); err != nil {
+				t.Fatalf("cap=%d pushes=%d: Restore: %v", capacity, pushes, err)
+			}
+			// Push the same continuation into both; the views must agree
+			// at every step.
+			for i := 0; i < 2*capacity+3; i++ {
+				ov, rv := orig.View(), rest.View()
+				if len(ov) != len(rv) {
+					t.Fatalf("cap=%d pushes=%d step=%d: len %d vs %d", capacity, pushes, i, len(ov), len(rv))
+				}
+				for j := range ov {
+					if ov[j] != rv[j] {
+						t.Fatalf("cap=%d pushes=%d step=%d: View[%d] %v vs %v", capacity, pushes, i, j, ov[j], rv[j])
+					}
+				}
+				if orig.Total() != rest.Total() {
+					t.Fatalf("cap=%d pushes=%d: Total %d vs %d", capacity, pushes, orig.Total(), rest.Total())
+				}
+				v := float64(100+i) * 0.25
+				orig.Push(v)
+				rest.Push(v)
+			}
+		}
+	}
+}
+
+// TestRingRestoreRejectsBadSnapshots: malformed snapshots must error, not
+// corrupt the window.
+func TestRingRestoreRejectsBadSnapshots(t *testing.T) {
+	if err := New(3).Restore([]float64{1, 2, 3, 4}, 4); err == nil {
+		t.Fatal("over-capacity snapshot must be rejected")
+	}
+	if err := New(3).Restore([]float64{1, 2}, 1); err == nil {
+		t.Fatal("total < retained must be rejected")
+	}
+	if err := New(3).Restore([]float64{1, 2}, 7); err == nil {
+		t.Fatal("saturated snapshot with a short window must be rejected")
+	}
+	if err := New(0).Restore([]float64{1, 2}, 3); err == nil {
+		t.Fatal("unbounded snapshot with total != len must be rejected")
+	}
+}

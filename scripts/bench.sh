@@ -11,7 +11,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-FILTER="${BENCH_FILTER:-BenchmarkDecide|BenchmarkBuildCurve|BenchmarkSimulateWorkday|BenchmarkRecommenderMonthTrace|BenchmarkFleetTick|BenchmarkFleetWeek1k|BenchmarkFleetMonth100k\$|BenchmarkRandomSearch\$}"
+FILTER="${BENCH_FILTER:-BenchmarkDecide|BenchmarkBuildCurve|BenchmarkSimulateWorkday|BenchmarkRecommenderMonthTrace|BenchmarkFleetTick|BenchmarkFleetWeek1k|BenchmarkFleetMonth100k\$|BenchmarkRandomSearch\$|BenchmarkServeIngest\$}"
 BENCHTIME="${BENCH_BENCHTIME:-1s}"
 OUT="${BENCH_OUT:-BENCH_sim.json}"
 

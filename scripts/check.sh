@@ -33,6 +33,13 @@ sh scripts/apicheck.sh
 echo "==> fleet determinism golden"
 sh scripts/fleet.sh
 
+# Serve smoke: boot caasper-serve, load-generate two tenants, diff the
+# decision streams against testdata/serve/, and require a graceful
+# SIGTERM drain to leave a valid snapshot (regenerate: UPDATE=1 sh
+# scripts/serve.sh).
+echo "==> serve smoke (server + loadgen + decision-stream golden)"
+sh scripts/serve.sh
+
 echo "==> benchmark smoke (1x, hot paths + parallel engine)"
 go test -run xxx -bench 'BenchmarkDecide|BenchmarkBuildCurve|BenchmarkSimulateWorkday' -benchtime 1x -benchmem .
 go test -run xxx -bench 'BenchmarkRandomSearchParallel' -benchtime 1x -benchmem ./internal/tuning/

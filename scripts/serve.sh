@@ -1,0 +1,88 @@
+#!/bin/sh
+# Serve smoke gate: boot caasper-serve on an ephemeral port, replay two
+# tenants' traces through the caasper-fleet load generator, and require
+# the explained decision streams (concatenated per-tenant GETs) to be
+# byte-identical to the checked-in golden. Then SIGTERM the server and
+# require a valid, complete snapshot — the graceful-drain contract.
+#
+#   sh scripts/serve.sh            # verify against testdata/serve golden
+#   UPDATE=1 sh scripts/serve.sh   # regenerate the golden
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=$(mktemp -d)
+SERVE_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$OUT"
+}
+trap cleanup EXIT
+
+echo "==> building caasper-serve and caasper-fleet"
+go build -o "$OUT/caasper-serve" ./cmd/caasper-serve
+go build -o "$OUT/caasper-fleet" ./cmd/caasper-fleet
+
+echo "==> starting caasper-serve (ephemeral port, snapshot on shutdown)"
+"$OUT/caasper-serve" -addr 127.0.0.1:0 -addr-file "$OUT/addr.txt" \
+    -snapshot "$OUT/serve.snapshot" >"$OUT/serve.log" 2>&1 &
+SERVE_PID=$!
+
+# Wait for the listener (the address file is written post-bind).
+i=0
+while [ ! -s "$OUT/addr.txt" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 50 ] && { echo "server never bound"; cat "$OUT/serve.log"; exit 1; }
+    sleep 0.1
+done
+ADDR=$(cat "$OUT/addr.txt")
+BASE="http://$ADDR"
+
+echo "==> load-generating 2 tenants x 360 samples against $BASE"
+"$OUT/caasper-fleet" -target "$BASE" -tenants 2 -minutes 360 -batch 60 -conns 2 \
+    -recommender caasper >"$OUT/loadgen.log"
+
+# Ingest is asynchronous: wait until both tenants' sample clocks reach
+# the full stream before reading decisions.
+for T in t00 t01; do
+    i=0
+    until curl -sf "$BASE/v1/tenants/$T" | grep -q '"samples":360'; do
+        i=$((i + 1))
+        [ "$i" -gt 50 ] && { echo "tenant $T never drained"; exit 1; }
+        sleep 0.1
+    done
+done
+
+: > "$OUT/decisions.ndjson"
+for T in t00 t01; do
+    curl -sf "$BASE/v1/tenants/$T/decisions?explain=1" >> "$OUT/decisions.ndjson"
+done
+wc -l "$OUT/decisions.ndjson"
+
+echo "==> graceful shutdown (SIGTERM -> drain -> snapshot)"
+kill -TERM "$SERVE_PID"
+i=0
+while kill -0 "$SERVE_PID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "server never exited"; exit 1; }
+    sleep 0.1
+done
+SERVE_PID=""
+
+head -1 "$OUT/serve.snapshot" | grep -q '"format":"caasper-serve"' \
+    || { echo "snapshot missing or malformed"; exit 1; }
+head -1 "$OUT/serve.snapshot" | grep -q '"tenants":2' \
+    || { echo "snapshot tenant count wrong"; head -1 "$OUT/serve.snapshot"; exit 1; }
+echo "==> snapshot valid ($(wc -l < "$OUT/serve.snapshot") lines)"
+
+GOLD=testdata/serve
+if [ "${UPDATE:-0}" = "1" ]; then
+    mkdir -p "$GOLD"
+    cp "$OUT/decisions.ndjson" "$GOLD/decisions.golden.ndjson"
+    wc -l "$GOLD/decisions.golden.ndjson"
+    echo "==> golden regenerated in $GOLD/"
+    exit 0
+fi
+
+diff -u "$GOLD/decisions.golden.ndjson" "$OUT/decisions.ndjson"
+echo "==> OK: decision streams byte-identical to golden; drain left a valid snapshot"
