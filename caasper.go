@@ -40,6 +40,7 @@ package caasper
 
 import (
 	"caasper/internal/baselines"
+	"caasper/internal/billing"
 	"caasper/internal/core"
 	"caasper/internal/dbsim"
 	"caasper/internal/errs"
@@ -225,6 +226,81 @@ type MultiResourceDecision = core.MultiResourceDecision
 // its marginal usage distribution.
 func NewMultiResource(cfg MultiResourceConfig) (*core.MultiResourceRecommender, error) {
 	return core.NewMultiResource(cfg)
+}
+
+// ---------------------------------------------------------------------------
+// Resource vectors
+//
+// The resource-vector API generalises the CPU-only bounds to
+// CPU + RAM + disk + replicas. Every options struct (SimOptions,
+// LiveOptions, TenantSpec) carries a ResourceRange next to its deprecated
+// scalar CPU fields; non-zero scalars win, so CPU-only callers behave
+// byte-identically.
+
+// Resources is one point in resource space: CPU cores, RAM GB, disk GB
+// and replica count.
+type Resources = core.Resources
+
+// ResourceLimits bounds the scalable dimensions (Min/Max per dimension);
+// a zero Max leaves a dimension unmanaged.
+type ResourceLimits = core.Limits
+
+// ResourceRange is the full vector contract of a workload: the initial
+// allocation plus the min/max bounds of every managed dimension.
+type ResourceRange = core.ResourceRange
+
+// ParseResourceSpec parses the -resources CLI grammar, e.g.
+// "cpu=2-16,ram=4-32,disk=20,replicas=1-4" (a single number pins the
+// dimension's initial value; a range bounds its scaling).
+var ParseResourceSpec = core.ParseResourceSpec
+
+// MemoryPolicy is the dual-threshold RAM policy (grow when free memory
+// falls under max(MinFreeGB, MinFreePct·alloc), shrink with hysteresis).
+type MemoryPolicy = recommend.MemoryPolicy
+
+// DiskPolicy is the grow-only volume policy (keep HeadroomPct free,
+// round up to StepGB, never shrink).
+type DiskPolicy = recommend.DiskPolicy
+
+// DefaultMemoryPolicy / DefaultDiskPolicy return the running defaults
+// used wherever a zero policy is supplied.
+var (
+	DefaultMemoryPolicy = recommend.DefaultMemoryPolicy
+	DefaultDiskPolicy   = recommend.DefaultDiskPolicy
+)
+
+// BillingRates prices the resource vector per billing period.
+type BillingRates = billing.Rates
+
+// DefaultBillingRates returns the running price weights (CPU 1.0 per
+// core-period, RAM 0.25 per GB-period, disk 0.02 per GB-period).
+var DefaultBillingRates = billing.DefaultRates
+
+// VectorMeter meters a multi-resource allocation into one bill.
+type VectorMeter = billing.VectorMeter
+
+// NewVectorMeter builds a VectorMeter over the given rates and periods.
+var NewVectorMeter = billing.NewVectorMeter
+
+// DeriveRAMTrace / DeriveDiskTrace synthesize RAM-usage and disk-usage
+// series from a CPU demand trace — the stand-ins the simulator uses when
+// a vector run supplies no explicit non-CPU traces.
+var (
+	DeriveRAMTrace  = workload.DeriveRAM
+	DeriveDiskTrace = workload.DeriveDisk
+)
+
+// VectorSimResult aggregates a multi-resource simulation: the embedded
+// CPU SimResult plus the RAM/disk trajectories, OOM accounting and
+// per-dimension bills.
+type VectorSimResult = sim.VectorResult
+
+// SimulateVector replays a demand trace through a recommender across the
+// full resource vector: the CPU dimension runs through Simulate
+// unchanged, RAM scales under MemoryPolicy, disk grows under DiskPolicy.
+// SimOptions.Resources must manage at least one non-CPU dimension.
+func SimulateVector(tr *Trace, rec Recommender, opts SimOptions) (*VectorSimResult, error) {
+	return sim.RunVector(tr, rec, opts)
 }
 
 // ---------------------------------------------------------------------------

@@ -18,6 +18,13 @@
 //
 //	caasper-fleet -tenants 4 -faults "restart-fail:p=0.2,metrics-gap:p=0.05,sched-pressure:p=0.5:dur=60:cores=4" -fault-seed 7
 //
+// A -resources vector upgrades every tenant to multi-resource scaling —
+// RAM under the dual-threshold policy, grow-only disk, and (with a
+// replicas range) vertical-first horizontal overflow for stateless tiers:
+//
+//	caasper-fleet -tenants 8 -resources "ram=4-16,disk=5-40"
+//	caasper-fleet -tenants 8 -resources "ram=4-16,replicas=1-4" -faults "mem-pressure:p=0.3:gb=3"
+//
 // With -target the binary becomes a load generator instead: it registers
 // its tenants against a running caasper-serve instance and replays their
 // traces as NDJSON sample batches, reporting ingest throughput and
@@ -58,6 +65,7 @@ func main() {
 		faultSpecStr = flag.String("faults", "", `fault-injection spec, e.g. "restart-fail:p=0.2,metrics-gap:p=0.05,sched-pressure:p=0.5:dur=60:cores=4" (times in minutes; empty: fault-free)`)
 		faultSeed    = flag.Uint64("fault-seed", 1, "fault-injection seed (same seed, same faults, byte-identical stream)")
 		engine       = flag.String("engine", "stepped", "tick engine: stepped (minute-by-minute reference) or events (discrete-event wake queue; byte-identical output)")
+		resourceSpec = flag.String("resources", "", `resource-vector spec applied to every tenant, e.g. "ram=4-16,disk=5-40" or "ram=4-32,replicas=1-4" (a replicas range marks the tenants stateless for horizontal overflow; requires the stepped engine)`)
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the fleet run to this file")
 		target       = flag.String("target", "", "load-generator mode: replay traces against a caasper-serve URL instead of simulating")
@@ -109,6 +117,14 @@ func main() {
 		return
 	}
 
+	var rr caasper.ResourceRange
+	if *resourceSpec != "" {
+		rr, err = caasper.ParseResourceSpec(*resourceSpec)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	tenants := make([]caasper.TenantSpec, 0, *tenantCount)
 	for i := 0; i < *tenantCount; i++ {
 		wname := wnames[i%len(wnames)]
@@ -133,6 +149,8 @@ func main() {
 			MaxCores:     maxC,
 			Replicas:     *replicas,
 			MemGiBPerPod: *memGiB,
+			Resources:    rr,
+			Stateless:    rr.Max.Replicas > 0,
 		})
 	}
 
@@ -187,6 +205,7 @@ func main() {
 			agg.RestartFails += t.FaultCounts.RestartFails
 			agg.RestartStucks += t.FaultCounts.RestartStucks
 			agg.MetricsGaps += t.FaultCounts.MetricsGaps
+			agg.MemPressureWindows += t.FaultCounts.MemPressureWindows
 		}
 		agg.PressureWindows = res.PressureWindows
 		fmt.Println()

@@ -15,11 +15,19 @@
 //
 //	caasper-sim -workload cyclical3d -recommender caasper,vpa,autopilot -workers 4
 //
+// A -resources vector adds RAM (dual-threshold policy), grow-only disk
+// and their bills on top of the unchanged CPU replay:
+//
+//	caasper-sim -workload workday12h -recommender caasper -resources ram=4-16
+//	caasper-sim -workload cyclical3d -resources "ram=4-32,disk=20-100"
+//
 // Chaos runs inject deterministic faults into every replay (fault times
 // are in simulated minutes here, the simulator's tick):
 //
 //	caasper-sim -workload workday12h -recommender caasper,vpa \
 //	    -faults "restart-fail:p=0.2,metrics-gap:p=0.05" -fault-seed 7
+//	caasper-sim -workload workday12h -resources ram=4-16 \
+//	    -faults "mem-pressure:p=0.3:gb=4" -fault-seed 7
 package main
 
 import (
@@ -50,6 +58,7 @@ func main() {
 		decisionInt  = flag.Int("decision-interval", 10, "minutes between decisions")
 		resizeDelay  = flag.Int("resize-delay", 10, "minutes for a resize to take effect")
 		seed         = flag.Uint64("seed", 1, "workload seed")
+		resourceSpec = flag.String("resources", "", `resource-vector spec enabling the multi-resource simulator, e.g. "ram=4-16" or "cpu=2-12,ram=4-32,disk=20-100" (CPU bounds default to -initial/-max when no cpu= entry is given)`)
 		faultSpec    = flag.String("faults", "", `fault-injection spec, e.g. "restart-fail:p=0.2,metrics-gap:p=0.05" (times in minutes; empty: fault-free)`)
 		faultSeed    = flag.Uint64("fault-seed", 1, "fault-injection seed (same seed, same faults, byte-identical stream)")
 		workers      = flag.Int("workers", 0, "worker goroutines for multi-recommender runs (default: GOMAXPROCS)")
@@ -98,10 +107,21 @@ func main() {
 	}
 	opts.Faults = spec
 	opts.FaultSeed = *faultSeed
+	if *resourceSpec != "" {
+		rr, err := caasper.ParseResourceSpec(*resourceSpec)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Resources = rr
+	}
+	vector := opts.Range().Multi()
 
 	recNames := splitList(*recName)
 	if len(recNames) == 0 {
 		fatal(fmt.Errorf("no recommender given"))
+	}
+	if vector && len(recNames) > 1 {
+		fatal(fmt.Errorf("-resources with non-CPU dimensions needs a single -recommender (the comparison matrix is CPU-only)"))
 	}
 	if len(recNames) > 1 {
 		// Comparison mode: one simulation per policy, fanned out across
@@ -130,9 +150,19 @@ func main() {
 		fatal(err)
 	}
 
-	res, err := caasper.Simulate(tr, rec, opts)
-	if err != nil {
-		fatal(err)
+	var res *caasper.SimResult
+	var vres *caasper.VectorSimResult
+	if vector {
+		vres, err = caasper.SimulateVector(tr, rec, opts)
+		if err != nil {
+			fatal(err)
+		}
+		res = vres.Result
+	} else {
+		res, err = caasper.Simulate(tr, rec, opts)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	fmt.Printf("trace:        %s (%d minutes, peak %.2f cores)\n", res.TraceName, res.Minutes, peak)
@@ -143,6 +173,21 @@ func main() {
 	fmt.Printf("throttled obs:      %.2f%%\n", res.ThrottledPct*100)
 	fmt.Printf("throughput proxy:   %.1f%%\n", res.ThroughputProxy()*100)
 	fmt.Printf("billed core-hours:  %.0f\n", res.BilledCorePeriods)
+	if vres != nil {
+		if vres.FinalRAMGB > 0 {
+			fmt.Printf("ram:                %d GB final, %d scalings, %d OOM-minutes (short %.1f GB-min), %.0f GB-hours billed\n",
+				vres.FinalRAMGB, vres.RAMScalings, vres.OOMMinutes, vres.RAMShortGBMin, vres.BilledRAMGBPeriods)
+		}
+		if vres.FinalDiskGB > 0 {
+			fmt.Printf("disk:               %d GB final, %d grow steps, %d disk-full minutes, %.0f GB-hours billed\n",
+				vres.FinalDiskGB, vres.DiskScalings, vres.DiskFullMinutes, vres.BilledDiskGBPeriods)
+		}
+		fmt.Printf("vector cost:        %.2f (cpu %.2f + ram %.2f + disk %.2f at default rates)\n",
+			vres.TotalCost(),
+			res.BilledCorePeriods*caasper.DefaultBillingRates().CPUCorePeriod,
+			vres.BilledRAMGBPeriods*caasper.DefaultBillingRates().RAMGBPeriod,
+			vres.BilledDiskGBPeriods*caasper.DefaultBillingRates().DiskGBPeriod)
+	}
 	if !spec.Empty() {
 		c := res.FaultCounts
 		fmt.Printf("chaos: spec=%s seed=%d\n", spec, *faultSeed)
@@ -150,6 +195,9 @@ func main() {
 		fmt.Printf("  restarts stuck:                 %d\n", c.RestartStucks)
 		fmt.Printf("  metric samples dropped:         %d\n", c.MetricsGaps)
 		fmt.Printf("  scheduling-pressure windows:    %d\n", c.PressureWindows)
+		if vres != nil {
+			fmt.Printf("  memory-pressure windows:        %d\n", vres.MemPressureWindows)
+		}
 	}
 	if len(res.Decisions) > 0 {
 		fmt.Printf("scalings:\n")

@@ -1,0 +1,78 @@
+package billing
+
+import "time"
+
+// Rates prices each scalable dimension per billing period. The CPU rate
+// is the paper's original price-per-core-period; RAM and disk follow the
+// CaaS pattern of cheaper secondary dimensions (Zerops bills RAM at a
+// fraction of a core and disk at a fraction of RAM). A zero rate means
+// "free", which is how CPU-only runs keep their exact cost figures.
+type Rates struct {
+	// CPUCorePeriod is the price of one core held for one period.
+	CPUCorePeriod float64
+	// RAMGBPeriod is the price of one GB of RAM held for one period.
+	RAMGBPeriod float64
+	// DiskGBPeriod is the price of one GB of disk held for one period.
+	DiskGBPeriod float64
+}
+
+// DefaultRates returns the reference price vector used by the simulator
+// and fleet when the caller does not override it: CPU at unit price, RAM
+// at a quarter of a core per GB, disk at a fiftieth.
+func DefaultRates() Rates {
+	return Rates{CPUCorePeriod: 1, RAMGBPeriod: 0.25, DiskGBPeriod: 0.02}
+}
+
+// VectorMeter meters the full resource vector: one peak-per-period Meter
+// per dimension, all sharing the same period and sample cadence so the
+// per-dimension costs add up on aligned boundaries. Replicas are not a
+// billed dimension — each replica's limits are folded into the recorded
+// totals by the caller (total provisioned cores/GB across the set).
+type VectorMeter struct {
+	// CPU, RAM and Disk meter their dimension's provisioned limits.
+	CPU, RAM, Disk Meter
+}
+
+// NewVectorMeter builds a meter per dimension at the given rates.
+func NewVectorMeter(rates Rates, period, sampleInterval time.Duration) (*VectorMeter, error) {
+	cpu, err := NewMeter(rates.CPUCorePeriod, period, sampleInterval)
+	if err != nil {
+		return nil, err
+	}
+	ram, err := NewMeter(rates.RAMGBPeriod, period, sampleInterval)
+	if err != nil {
+		return nil, err
+	}
+	disk, err := NewMeter(rates.DiskGBPeriod, period, sampleInterval)
+	if err != nil {
+		return nil, err
+	}
+	return &VectorMeter{CPU: *cpu, RAM: *ram, Disk: *disk}, nil
+}
+
+// Record registers one sample interval's provisioned totals across the
+// set: cores, RAM GB and disk GB (all replicas summed by the caller).
+func (m *VectorMeter) Record(cores, ramGB, diskGB float64) {
+	m.CPU.Record(cores)
+	m.RAM.Record(ramGB)
+	m.Disk.Record(diskGB)
+}
+
+// Flush closes any partially filled period in every dimension.
+func (m *VectorMeter) Flush() {
+	m.CPU.Flush()
+	m.RAM.Flush()
+	m.Disk.Flush()
+}
+
+// TotalCost sums the per-dimension costs.
+func (m *VectorMeter) TotalCost() float64 {
+	return m.CPU.TotalCost() + m.RAM.TotalCost() + m.Disk.TotalCost()
+}
+
+// Reset clears every dimension's accumulated state.
+func (m *VectorMeter) Reset() {
+	m.CPU.Reset()
+	m.RAM.Reset()
+	m.Disk.Reset()
+}

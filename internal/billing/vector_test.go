@@ -1,0 +1,57 @@
+package billing
+
+import (
+	"testing"
+	"time"
+)
+
+func TestVectorMeterSumsDimensions(t *testing.T) {
+	m, err := NewVectorMeter(DefaultRates(), time.Hour, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One full period at 4 cores, 8 GB RAM, 50 GB disk.
+	for i := 0; i < 60; i++ {
+		m.Record(4, 8, 50)
+	}
+	want := 4*1.0 + 8*0.25 + 50*0.02
+	if got := m.TotalCost(); got != want {
+		t.Fatalf("TotalCost = %v, want %v", got, want)
+	}
+	// Peak-based: one spiky minute dominates the next period.
+	for i := 0; i < 60; i++ {
+		c := 2.0
+		if i == 30 {
+			c = 6
+		}
+		m.Record(c, 8, 50)
+	}
+	if got := m.CPU.BilledCorePeriods(); got != 4+6 {
+		t.Fatalf("CPU core-periods = %v, want 10 (peak per period)", got)
+	}
+	m.Reset()
+	m.Record(1, 1, 1)
+	m.Flush()
+	if got := m.CPU.BilledCorePeriods(); got != 1 {
+		t.Fatalf("after Reset+Flush: %v, want 1", got)
+	}
+}
+
+func TestVectorMeterZeroRatesAreFree(t *testing.T) {
+	m, err := NewVectorMeter(Rates{CPUCorePeriod: 1}, time.Hour, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		m.Record(2, 100, 1000)
+	}
+	if got := m.TotalCost(); got != 2 {
+		t.Fatalf("free RAM/disk must not bill: %v, want 2", got)
+	}
+}
+
+func TestVectorMeterBadCadence(t *testing.T) {
+	if _, err := NewVectorMeter(DefaultRates(), time.Hour, 7*time.Minute); err == nil {
+		t.Fatal("non-dividing interval must error")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"caasper/internal/billing"
+	"caasper/internal/core"
 	"caasper/internal/errs"
 	"caasper/internal/faults"
 	"caasper/internal/hooks"
@@ -28,9 +29,20 @@ type HarnessOptions struct {
 	// Database B in the paper).
 	Replicas int
 	// InitialCores is the starting whole-core limit.
+	//
+	// Deprecated: set Resources.Initial.CPUCores. A non-zero value here
+	// wins, so seed callers behave identically.
 	InitialCores int
 	// MinCores / MaxCores are the scaler's safety bounds.
+	//
+	// Deprecated: set Resources.Min/Max.CPUCores. Non-zero values here
+	// win, so seed callers behave identically.
 	MinCores, MaxCores int
+	// Resources is the canonical resource-vector spelling of the run's
+	// bounds, shared with sim.Options and fleet.TenantSpec. The live
+	// harness scales only the CPU entries today; Max.Replicas bounds
+	// RunHorizontal's scale-out when HorizontalOptions.MaxReplicas is 0.
+	Resources core.ResourceRange
 	// MemGiBPerPod sizes pod memory (scheduling only; not billed).
 	MemGiBPerPod float64
 	// RestartSecondsPerPod is the per-pod rolling-update restart time
@@ -77,6 +89,13 @@ type HarnessOptions struct {
 // prebuilt-injector field is resolved separately in RunLive.
 func (o HarnessOptions) Hooks() hooks.RunHooks {
 	return o.RunHooks.Merge(o.Events, o.Metrics, nil, 0)
+}
+
+// Range resolves the effective resource bounds: the deprecated scalar
+// CPU fields overlay the vector (non-zero wins), the same merge
+// sim.Options.Range and fleet.TenantSpec.Range perform.
+func (o HarnessOptions) Range() core.ResourceRange {
+	return o.Resources.MergeCPU(o.InitialCores, o.MinCores, o.MaxCores)
 }
 
 // DatabaseAOptions returns the paper's Database A setup: 3 replicas with

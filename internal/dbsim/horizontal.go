@@ -1,10 +1,11 @@
 package dbsim
 
 import (
-	"errors"
+	"fmt"
 	"time"
 
 	"caasper/internal/billing"
+	"caasper/internal/errs"
 	"caasper/internal/k8s"
 	"caasper/internal/workload"
 )
@@ -25,7 +26,9 @@ type HorizontalOptions struct {
 	// never changes CPU per pod: Harness.InitialCores is the fixed
 	// vertical size of every replica.
 	Harness HarnessOptions
-	// MaxReplicas bounds the scale-out.
+	// MaxReplicas bounds the scale-out; 0 means unbounded (the cluster's
+	// capacity is then the only limit). When 0 and the harness carries a
+	// resource vector, Harness.Resources.Max.Replicas applies instead.
 	MaxReplicas int
 	// SeedSeconds is the size-of-data-copy time for a new replica
 	// before it can serve (§3.1).
@@ -56,16 +59,23 @@ func DefaultHorizontalOptions(cpuPerPod, maxReplicas int) HorizontalOptions {
 // all replicas' limits — horizontal growth is not free.
 func RunHorizontal(sched *workload.LoadSchedule, opts HorizontalOptions) (*LiveResult, error) {
 	if sched == nil {
-		return nil, errors.New("dbsim: nil schedule")
+		return nil, fmt.Errorf("dbsim: nil schedule: %w", errs.ErrInvalidConfig)
 	}
-	if opts.MaxReplicas < opts.Harness.Replicas {
-		return nil, errors.New("dbsim: MaxReplicas below initial replicas")
+	maxReplicas := opts.MaxReplicas
+	if maxReplicas == 0 {
+		// 0 is unbounded, not "never scale": the old strict comparison
+		// below silently froze the set at its initial size. A vector
+		// bound on the harness supplies the ceiling when present.
+		maxReplicas = opts.Harness.Range().Max.Replicas
+	}
+	if maxReplicas != 0 && maxReplicas < opts.Harness.Replicas {
+		return nil, fmt.Errorf("dbsim: MaxReplicas below initial replicas: %w", errs.ErrInvalidConfig)
 	}
 	if opts.UtilizationHigh <= 0 || opts.UtilizationHigh > 1 {
-		return nil, errors.New("dbsim: UtilizationHigh out of (0,1]")
+		return nil, fmt.Errorf("dbsim: UtilizationHigh out of (0,1]: %w", errs.ErrInvalidConfig)
 	}
 	if opts.DecisionEverySeconds < 1 || opts.SeedSeconds < 0 {
-		return nil, errors.New("dbsim: bad cadences")
+		return nil, fmt.Errorf("dbsim: bad cadences: %w", errs.ErrInvalidConfig)
 	}
 	h := opts.Harness
 	cluster := h.Cluster
@@ -143,7 +153,7 @@ func RunHorizontal(sched *workload.LoadSchedule, opts HorizontalOptions) (*LiveR
 		// HPA decision: scale out when the primary ran hot on average.
 		if now >= nextDecision {
 			primary := set.Primary()
-			if primary != nil && seeding == nil && len(set.Pods) < opts.MaxReplicas {
+			if primary != nil && seeding == nil && (maxReplicas == 0 || len(set.Pods) < maxReplicas) {
 				util := windowUsed / (float64(opts.DecisionEverySeconds) * primary.CPULimit())
 				res.DecisionSeries = append(res.DecisionSeries, util)
 				if util >= opts.UtilizationHigh {

@@ -1,8 +1,11 @@
 package dbsim
 
 import (
+	"errors"
 	"testing"
 	"time"
+
+	"caasper/internal/errs"
 
 	"caasper/internal/k8s"
 	"caasper/internal/workload"
@@ -115,5 +118,42 @@ func TestAddReplicaSeedsBeforeServing(t *testing.T) {
 	}
 	if p.UsedCPUSeconds == 0 {
 		t.Error("seeded replica never served")
+	}
+}
+
+func TestRunHorizontalUnboundedAndErrKinds(t *testing.T) {
+	sched := writeHeavySchedule(4, 2*time.Hour)
+
+	// Config errors carry the shared sentinel so callers can branch.
+	bad := DefaultHorizontalOptions(2, 6)
+	bad.MaxReplicas = 1
+	if _, err := RunHorizontal(sched, bad); !errors.Is(err, errs.ErrInvalidConfig) {
+		t.Errorf("config error must wrap ErrInvalidConfig, got %v", err)
+	}
+
+	// MaxReplicas=0 is unbounded: the scaler must still add replicas
+	// (it previously froze the set at its initial size).
+	opts := DefaultHorizontalOptions(2, 6)
+	opts.MaxReplicas = 0
+	opts.Harness.DB.Retry = false
+	res, err := RunHorizontal(sched, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumScalings == 0 {
+		t.Fatal("MaxReplicas=0 must mean unbounded, not zero")
+	}
+
+	// A vector ceiling on the harness applies when MaxReplicas is 0.
+	opts = DefaultHorizontalOptions(2, 6)
+	opts.MaxReplicas = 0
+	opts.Harness.DB.Retry = false
+	opts.Harness.Resources.Max.Replicas = 4
+	res, err = RunHorizontal(sched, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumScalings > 1 { // 3 initial replicas, ceiling 4
+		t.Errorf("vector ceiling 4 from 3 replicas allows one scale-out, got %d", res.NumScalings)
 	}
 }

@@ -10,7 +10,7 @@
 // therefore cannot perturb the outcome, which keeps the golden NDJSON
 // event-stream contract of internal/obs intact under chaos.
 //
-// Four fault kinds are modelled, selected with a small spec grammar
+// Five fault kinds are modelled, selected with a small spec grammar
 // (comma-separated faults, colon-separated key=value parameters):
 //
 //	restart-fail:p=0.1              a pod restart attempt fails outright
@@ -20,6 +20,11 @@
 //	                                transient co-tenant pressure steals
 //	                                cores of free capacity per node for
 //	                                dur-second windows
+//	mem-pressure:p=0.5:gb=2:dur=300
+//	                                phantom resident memory inflates a
+//	                                pod's RAM usage by gb GB during
+//	                                active dur-second windows (RAM-aware
+//	                                layers only)
 //
 // With no spec the injector is nil and every hook compiles down to a
 // nil-receiver check — the fault-free path costs one branch and the
@@ -54,6 +59,12 @@ const (
 	// active Dur-second windows — Rodriguez & Buyya's "scheduling
 	// failures under node pressure are the common case" made concrete.
 	SchedPressure Kind = "sched-pressure"
+	// MemPressure adds GB of phantom resident memory to a pod during
+	// active Dur-second windows (a leaky co-process, page-cache bloat, a
+	// runaway query plan) — the OOM-style scenario the multi-resource
+	// decision loop has to absorb. Only layers that model RAM query it;
+	// CPU-only runs never draw, so their streams are untouched.
+	MemPressure Kind = "mem-pressure"
 )
 
 // Fault is one parsed fault with its parameters.
@@ -68,6 +79,8 @@ type Fault struct {
 	Dur int64
 	// Cores is the per-node capacity stolen by sched-pressure.
 	Cores float64
+	// GB is the phantom resident memory added by mem-pressure.
+	GB float64
 }
 
 // defaults returns the parameter defaults for a kind.
@@ -81,6 +94,8 @@ func defaults(k Kind) (Fault, error) {
 		return Fault{Kind: k, P: 0.02}, nil
 	case SchedPressure:
 		return Fault{Kind: k, P: 1, Dur: 300, Cores: 4}, nil
+	case MemPressure:
+		return Fault{Kind: k, P: 0.5, Dur: 300, GB: 2}, nil
 	default:
 		return Fault{}, fmt.Errorf("faults: unknown fault kind %q", k)
 	}
@@ -136,6 +151,12 @@ func ParseSpec(s string) (*Spec, error) {
 					return nil, fmt.Errorf("faults: %s: cores=%q is not a positive core count", f.Kind, val)
 				}
 				f.Cores = c
+			case "gb":
+				g, err := strconv.ParseFloat(val, 64)
+				if err != nil || g <= 0 {
+					return nil, fmt.Errorf("faults: %s: gb=%q is not a positive GB count", f.Kind, val)
+				}
+				f.GB = g
 			default:
 				return nil, fmt.Errorf("faults: %s: unknown parameter %q", f.Kind, key)
 			}
@@ -178,11 +199,14 @@ func (s *Spec) String() string {
 		}
 		f := s.faults[Kind(k)]
 		fmt.Fprintf(&b, "%s:p=%s", k, strconv.FormatFloat(f.P, 'g', -1, 64))
-		if f.Kind == RestartStuck || f.Kind == SchedPressure {
+		if f.Kind == RestartStuck || f.Kind == SchedPressure || f.Kind == MemPressure {
 			fmt.Fprintf(&b, ":dur=%d", f.Dur)
 		}
 		if f.Kind == SchedPressure {
 			fmt.Fprintf(&b, ":cores=%s", strconv.FormatFloat(f.Cores, 'g', -1, 64))
+		}
+		if f.Kind == MemPressure {
+			fmt.Fprintf(&b, ":gb=%s", strconv.FormatFloat(f.GB, 'g', -1, 64))
 		}
 	}
 	return b.String()
@@ -194,11 +218,13 @@ type Counts struct {
 	RestartFails, RestartStucks, MetricsGaps int64
 	// PressureWindows counts activated sched-pressure windows.
 	PressureWindows int64
+	// MemPressureWindows counts activated mem-pressure windows.
+	MemPressureWindows int64
 }
 
 // Any reports whether any fault was injected.
 func (c Counts) Any() bool {
-	return c.RestartFails+c.RestartStucks+c.MetricsGaps+c.PressureWindows > 0
+	return c.RestartFails+c.RestartStucks+c.MetricsGaps+c.PressureWindows+c.MemPressureWindows > 0
 }
 
 // Injector draws injected faults deterministically. The zero-cost
@@ -225,6 +251,9 @@ type Injector struct {
 	// pressureWindow is the last sched-pressure window whose activation
 	// edge was emitted (-1 before any query).
 	pressureWindow int64
+	// memWindow is the last mem-pressure window whose activation edge
+	// was emitted (-1 before any query).
+	memWindow int64
 	// src/rng are the reusable draw PRNG: re-seeded from the draw key on
 	// every query, so each value still depends only on (seed, kind, pod,
 	// time) — but the catch-up scans of NextGap make thousands of draws
@@ -240,7 +269,7 @@ func New(spec *Spec, seed uint64) *Injector {
 		return nil
 	}
 	src := rand.NewSource(0)
-	return &Injector{spec: spec, seed: seed, pressureWindow: -1, src: src, rng: rand.New(src)}
+	return &Injector{spec: spec, seed: seed, pressureWindow: -1, memWindow: -1, src: src, rng: rand.New(src)}
 }
 
 // Seed returns the injector's seed (0 for nil).
@@ -278,6 +307,8 @@ func kindSalt(k Kind) uint64 {
 		return 0x94D0_49BB_1331_11EB
 	case SchedPressure:
 		return 0xD6E8_FEB8_6659_FD93
+	case MemPressure:
+		return 0xC2B2_AE3D_27D4_EB4F
 	default:
 		return 0xA5A5_A5A5_A5A5_A5A5
 	}
@@ -424,6 +455,35 @@ func (in *Injector) PressureCores(now int64) float64 {
 	return f.Cores
 }
 
+// MemPressureGB returns the phantom resident memory (GB) currently
+// inflating the pod's RAM usage. Like PressureCores, time is divided
+// into Dur-second windows that independently activate with probability
+// P, keyed on (seed, kind, pod, window) so each pod's pressure stream is
+// independent and query-order-free. The activation edge of each active
+// window emits one "fault.mem-pressure" event at the window boundary.
+// Only RAM-aware layers call this hook; a CPU-only run never draws.
+func (in *Injector) MemPressureGB(pod string, now int64) float64 {
+	if in == nil {
+		return 0
+	}
+	f, ok := in.spec.Get(MemPressure)
+	if !ok {
+		return 0
+	}
+	window := now / f.Dur
+	if in.draw(MemPressure, pod, window) >= f.P {
+		return 0
+	}
+	if window != in.memWindow {
+		in.memWindow = window
+		in.counts.MemPressureWindows++
+		in.Stats.Counter("fault.mem_pressure_windows").Inc()
+		in.emit(window*f.Dur, "fault.mem-pressure",
+			obs.S("pod", pod), obs.F("gb", f.GB), obs.I("until", (window+1)*f.Dur))
+	}
+	return f.GB
+}
+
 // Has reports whether the injector's spec includes the given fault kind
 // (false for nil). Engines that batch time use it to decide which per-
 // minute hooks genuinely need a draw per minute (metrics-gap) and which
@@ -488,5 +548,10 @@ func Summarize(spec *Spec, seed uint64, c Counts) string {
 	fmt.Fprintf(&b, "  restart attempts stuck:    %d\n", c.RestartStucks)
 	fmt.Fprintf(&b, "  metric samples dropped:    %d\n", c.MetricsGaps)
 	fmt.Fprintf(&b, "  scheduling-pressure windows: %d\n", c.PressureWindows)
+	// Rendered only when the spec can produce it, so CPU-only chaos
+	// summaries stay byte-identical to the pre-vector output.
+	if _, ok := spec.Get(MemPressure); ok {
+		fmt.Fprintf(&b, "  memory-pressure windows:     %d\n", c.MemPressureWindows)
+	}
 	return b.String()
 }

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"caasper/internal/billing"
+	"caasper/internal/core"
 	"caasper/internal/errs"
 	"caasper/internal/faults"
 	"caasper/internal/hooks"
@@ -59,13 +60,55 @@ type TenantSpec struct {
 	// fleet runs tenants concurrently.
 	NewRecommender func() (recommend.Recommender, error)
 	// InitialCores is the starting whole-core limit per pod.
+	//
+	// Deprecated: set Resources.Initial.CPUCores. A non-zero value here
+	// wins, so seed callers behave identically.
 	InitialCores int
 	// MinCores / MaxCores are the tenant's safety clamps.
+	//
+	// Deprecated: set Resources.Min/Max.CPUCores. Non-zero values here
+	// win, so seed callers behave identically.
 	MinCores, MaxCores int
 	// Replicas is the stateful-set size (default 1).
 	Replicas int
 	// MemGiBPerPod sizes pod memory (scheduling only; not billed).
+	// Ignored when Resources manages RAM — the RAM allocation then
+	// sizes the pods.
 	MemGiBPerPod float64
+
+	// Resources is the canonical resource-vector spelling of the
+	// tenant's bounds. Managing any non-CPU dimension (a non-zero
+	// Max.RAMGB, Max.DiskGB or Max.Replicas) upgrades the tenant from
+	// the CPU-only decision loop to the multi-resource loop: RAM scales
+	// by the dual-threshold MemoryPolicy, disk grows off its high-water
+	// mark, and — for Stateless tenants — replicas overflow horizontally
+	// once the vertical CPU ceiling pins. CPU-only tenants (zero value
+	// here) run the exact pre-vector code paths.
+	Resources core.ResourceRange
+	// RAMTrace is the per-minute per-pod RAM demand series in GB; nil
+	// derives one deterministically from Trace (workload.DeriveRAM).
+	RAMTrace *trace.Trace
+	// DiskTrace is the per-minute per-pod disk usage series in GB; nil
+	// derives one deterministically from Trace (workload.DeriveDisk).
+	DiskTrace *trace.Trace
+	// Stateless marks the tenant safe for horizontal overflow: only
+	// stateless tiers may trade a replica for a resize (stateful sets
+	// pay the size-of-data seeding cost the paper warns about).
+	Stateless bool
+	// SeedMinutes delays a new replica's first served minute (default 0
+	// for stateless tiers — no data to copy).
+	SeedMinutes int
+	// Mem tunes the RAM policy (zero value: defaults).
+	Mem recommend.MemoryPolicy
+	// Disk tunes the disk policy (zero value: defaults).
+	Disk recommend.DiskPolicy
+}
+
+// Range resolves the tenant's effective resource bounds: the deprecated
+// scalar CPU fields overlay the vector (non-zero wins), mirroring the
+// RunHooks merge precedent.
+func (s TenantSpec) Range() core.ResourceRange {
+	return s.Resources.MergeCPU(s.InitialCores, s.MinCores, s.MaxCores)
 }
 
 // Options configures a fleet run. The telemetry/fault knobs come from the
@@ -91,6 +134,10 @@ type Options struct {
 	BillingPeriod time.Duration
 	// PricePerCorePeriod is the unit price (default 1: report ratios).
 	PricePerCorePeriod float64
+	// RAMPricePerGBPeriod / DiskPricePerGBPeriod price the non-CPU
+	// dimensions for multi-resource tenants (defaults: billing
+	// DefaultRates, 0.25 and 0.02). CPU-only tenants never meter them.
+	RAMPricePerGBPeriod, DiskPricePerGBPeriod float64
 	// Engine selects the tick engine: EngineStepped (the default, also
 	// selected by "") or EngineEvents. Both produce byte-identical results
 	// and event streams; see the engine constants for when each wins.
@@ -168,6 +215,21 @@ type TenantResult struct {
 	BilledCorePeriods float64
 	// FaultCounts tallies this tenant's injected faults.
 	FaultCounts faults.Counts
+
+	// Multi-resource extensions — zero for CPU-only tenants.
+
+	// FinalRAMGB / FinalDiskGB / FinalReplicas close the vector
+	// trajectory (0 when the dimension is unmanaged).
+	FinalRAMGB, FinalDiskGB, FinalReplicas int
+	// RAMShortGBMin is Σ max(0, ram demand − grant) in GB-minutes.
+	RAMShortGBMin float64
+	// OOMMinutes counts minutes with any RAM shortfall.
+	OOMMinutes int
+	// DiskFullMinutes counts minutes the disk trace exceeded the volume.
+	DiskFullMinutes int
+	// BilledRAMGBPeriods / BilledDiskGBPeriods are the non-CPU costs in
+	// native units (GB-periods).
+	BilledRAMGBPeriods, BilledDiskGBPeriods float64
 }
 
 // Result aggregates a fleet run: per-tenant outcomes plus the
@@ -188,6 +250,11 @@ type Result struct {
 	ArbitrationTicks int
 	// PressureWindows counts fleet-level scheduling-pressure windows.
 	PressureWindows int64
+	// TotalOOMMinutes / TotalRAMShortGBMin / TotalRAMCost / TotalDiskCost
+	// aggregate the multi-resource tenants (zero for CPU-only fleets).
+	TotalOOMMinutes  int
+	TotalRAMShortGBMin float64
+	TotalRAMCost, TotalDiskCost float64
 }
 
 // Summary renders the per-tenant comparison table plus the fleet
@@ -207,6 +274,29 @@ func (r *Result) Summary() string {
 		r.TotalAborted, r.TotalCost)
 	fmt.Fprintf(&b, "arbitration: %d contended ticks, %d deferrals, %d pressure windows over %d minutes\n",
 		r.ArbitrationTicks, r.TotalDeferrals, r.PressureWindows, r.Minutes)
+	// The multi-resource block renders only when a tenant managed a
+	// non-CPU dimension, keeping CPU-only summaries byte-identical.
+	multi := false
+	for _, t := range r.Tenants {
+		if t.FinalRAMGB > 0 || t.FinalDiskGB > 0 || t.FinalReplicas > 0 {
+			multi = true
+			break
+		}
+	}
+	if multi {
+		fmt.Fprintf(&b, "\n%-10s %8s %8s %5s %6s %10s %8s %8s\n",
+			"tenant", "ram", "disk", "reps", "oom", "ram-short", "ram$", "disk$")
+		for _, t := range r.Tenants {
+			if t.FinalRAMGB == 0 && t.FinalDiskGB == 0 && t.FinalReplicas == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%-10s %8d %8d %5d %6d %10.1f %8.1f %8.1f\n",
+				t.Name, t.FinalRAMGB, t.FinalDiskGB, t.FinalReplicas,
+				t.OOMMinutes, t.RAMShortGBMin, t.BilledRAMGBPeriods, t.BilledDiskGBPeriods)
+		}
+		fmt.Fprintf(&b, "multi-resource: %d OOM minutes, %.1f GB-min RAM short, ram cost %.1f, disk cost %.1f\n",
+			r.TotalOOMMinutes, r.TotalRAMShortGBMin, r.TotalRAMCost, r.TotalDiskCost)
+	}
 	return b.String()
 }
 
@@ -216,9 +306,26 @@ func (r *Result) Summary() string {
 var sinkPool = sync.Pool{New: func() any { return obs.NewMemorySink() }}
 
 // proposal is one tenant's pending resize request for the current tick.
+// CPU-only tenants fill only target/severity; multi-resource tenants set
+// multi and carry explicit targets for every managed dimension.
 type proposal struct {
 	target   int
 	severity float64 // accumulated insufficient core-minutes since the last decision
+	multi    bool
+	ram      int // RAM GB target (multi only)
+	disk     int // disk GB target (multi only)
+	reps     int // replica target (multi only)
+}
+
+// grows reports whether any dimension of the proposal asks for more
+// capacity — such proposals go through the arbiter; pure releases enact
+// first. For CPU-only proposals this is exactly the pre-vector
+// target-vs-limit comparison.
+func (p proposal) grows(t *tenant) bool {
+	if !p.multi {
+		return p.target >= t.set.CPULimit()
+	}
+	return p.target > t.set.CPULimit() || p.ram > t.mr.ramAlloc || p.reps > t.mr.replicas
 }
 
 // tenant is the per-tenant runtime state. Phase 1 touches exactly one
@@ -240,6 +347,10 @@ type tenant struct {
 	severity  float64 // insufficiency accumulated since the last decision
 	prop      proposal
 	hasProp   bool
+
+	// mr is the multi-resource state; nil keeps the tenant on the exact
+	// CPU-only code paths (see multi.go).
+	mr *multiState
 
 	// Event-engine state (see events.go; untouched by the stepped engine).
 	done   int                      // minutes [0, done) are fully accounted
@@ -346,8 +457,21 @@ func Run(tenants []TenantSpec, opts Options) (*Result, error) {
 		if spec.NewRecommender == nil {
 			return nil, fmt.Errorf("fleet: tenant %q has no recommender factory: %w", spec.Name, errs.ErrInvalidConfig)
 		}
-		if spec.InitialCores < 1 || spec.MinCores < 1 || spec.MaxCores < spec.MinCores {
+		rr := spec.Range()
+		if rr.Initial.CPUCores < 1 || rr.Min.CPUCores < 1 || rr.Max.CPUCores < rr.Min.CPUCores {
 			return nil, fmt.Errorf("fleet: tenant %q: bad core bounds: %w", spec.Name, errs.ErrInvalidConfig)
+		}
+		if rr.Multi() {
+			if err := rr.Validate(); err != nil {
+				return nil, fmt.Errorf("fleet: tenant %q: %w", spec.Name, err)
+			}
+			if opts.Engine == EngineEvents {
+				// The event engine's analytic catch-up covers only the
+				// CPU dimension today; refuse rather than silently
+				// dropping RAM/disk accounting.
+				return nil, fmt.Errorf("fleet: tenant %q: multi-resource tenants need the stepped engine: %w",
+					spec.Name, errs.ErrInvalidConfig)
+			}
 		}
 		if minutes == 0 || len(spec.Trace.Values) < minutes {
 			minutes = len(spec.Trace.Values)
@@ -369,20 +493,36 @@ func Run(tenants []TenantSpec, opts Options) (*Result, error) {
 	tstore := make([]tenant, len(tenants))
 	ts := make([]*tenant, len(tenants))
 	for i, spec := range tenants {
+		rr := spec.Range()
 		replicas := spec.Replicas
+		if rr.Multi() && rr.Initial.Replicas > 0 {
+			replicas = rr.Initial.Replicas
+		}
 		if replicas < 1 {
 			replicas = 1
+		}
+		memGiB := spec.MemGiBPerPod
+		if rr.Max.RAMGB > 0 {
+			memGiB = float64(rr.Initial.RAMGB) // RAM-managed pods size to the grant
 		}
 		rec, err := spec.NewRecommender()
 		if err != nil {
 			return nil, fmt.Errorf("fleet: building recommender for %q: %w", spec.Name, err)
 		}
-		set, err := k8s.NewStatefulSet(spec.Name, replicas, spec.InitialCores, spec.MemGiBPerPod, cluster)
+		set, err := k8s.NewStatefulSet(spec.Name, replicas, rr.Initial.CPUCores, memGiB, cluster)
 		if err != nil {
 			return nil, fmt.Errorf("fleet: onboarding %q: %w", spec.Name, err)
 		}
 		t := &tstore[i]
 		t.spec, t.rec, t.set, t.meter, t.pod = spec, rec, set, *meterProto, set.Pods[0].Name
+		// Normalize the deprecated scalar CPU fields on the tenant's copy
+		// so the decide clamp reads one resolved set of bounds.
+		t.spec.InitialCores, t.spec.MinCores, t.spec.MaxCores = rr.Initial.CPUCores, rr.Min.CPUCores, rr.Max.CPUCores
+		if rr.Multi() {
+			if err := t.initMulti(rr, replicas, minutes, opts); err != nil {
+				return nil, fmt.Errorf("fleet: tenant %q: %w", spec.Name, err)
+			}
+		}
 		t.inj = faults.New(h.FaultSpec, h.FaultSeed)
 		if t.inj != nil {
 			t.inj.Stats = h.Metrics
@@ -395,7 +535,7 @@ func Run(tenants []TenantSpec, opts Options) (*Result, error) {
 		t.res = TenantResult{
 			Name:         spec.Name,
 			Recommender:  rec.Name(),
-			InitialCores: spec.InitialCores,
+			InitialCores: rr.Initial.CPUCores,
 		}
 		ts[i] = t
 	}
@@ -447,6 +587,9 @@ func Run(tenants []TenantSpec, opts Options) (*Result, error) {
 		t.res.FinalCores = t.set.CPULimit()
 		t.res.BilledCorePeriods = t.meter.BilledCorePeriods()
 		t.res.FaultCounts = t.inj.Counts()
+		if t.mr != nil {
+			t.finishMulti()
+		}
 		res.Tenants[i] = t.res
 
 		res.TotalSlack += t.res.SumSlack
@@ -455,9 +598,13 @@ func Run(tenants []TenantSpec, opts Options) (*Result, error) {
 		res.TotalScalings += t.res.NumScalings
 		res.TotalDeferrals += t.res.Deferrals
 		res.TotalAborted += t.res.ResizesAborted
+		res.TotalOOMMinutes += t.res.OOMMinutes
+		res.TotalRAMShortGBMin += t.res.RAMShortGBMin
+		res.TotalRAMCost += t.res.BilledRAMGBPeriods
+		res.TotalDiskCost += t.res.BilledDiskGBPeriods
 
 		if events {
-			h.Events.Emit(obs.Event{T: int64(minutes), Type: "fleet.tenant", Fields: []obs.Field{
+			fields := []obs.Field{
 				obs.S("tenant", t.spec.Name),
 				obs.S("recommender", t.res.Recommender),
 				obs.F("slack", t.res.SumSlack),
@@ -467,7 +614,19 @@ func Run(tenants []TenantSpec, opts Options) (*Result, error) {
 				obs.I("aborted", int64(t.res.ResizesAborted)),
 				obs.I("throttled_minutes", int64(t.res.ThrottledMinutes)),
 				obs.F("cost", t.res.BilledCorePeriods),
-			}})
+			}
+			if t.mr != nil {
+				// Appended, never reordered: CPU-only tenant events stay
+				// byte-identical to the pre-vector stream.
+				fields = append(fields,
+					obs.I("ram_gb", int64(t.res.FinalRAMGB)),
+					obs.I("disk_gb", int64(t.res.FinalDiskGB)),
+					obs.I("replicas", int64(t.res.FinalReplicas)),
+					obs.I("oom_minutes", int64(t.res.OOMMinutes)),
+					obs.F("ram_short", t.res.RAMShortGBMin),
+				)
+			}
+			h.Events.Emit(obs.Event{T: int64(minutes), Type: "fleet.tenant", Fields: fields})
 			if t.sink != nil {
 				t.sink.ReplayTo(h.Events)
 				sinkPool.Put(t.sink)
@@ -538,6 +697,12 @@ func (s *runState) runStepped() error {
 		// mutates, so any worker count produces identical proposals.
 		err := parallel.ForEach(ctx, len(ts), s.workers, func(i int) error {
 			t := ts[i]
+			if t.mr != nil {
+				// Multi-resource tenants observe every dimension; the
+				// CPU-only loop below stays byte-for-byte untouched.
+				t.observeMultiSegment(segStart, segEnd, decision)
+				return nil
+			}
 			limit := t.set.CPULimit() // constant within the segment
 			limf := float64(limit)
 			t.hasProp = false
@@ -606,8 +771,8 @@ func (s *runState) enactPhase(cands []int, pressure float64, now int) {
 		if !t.hasProp {
 			continue
 		}
-		if t.prop.target < t.set.CPULimit() {
-			enact(t, t.prop, s.cluster, s.arb, s.h.Events, s.events, now)
+		if !t.prop.grows(t) {
+			s.enactProposal(t, now)
 		} else {
 			ups = append(ups, i)
 		}
@@ -638,7 +803,7 @@ func (s *runState) enactPhase(cands []int, pressure float64, now int) {
 		granted, deferred := 0, 0
 		for _, i := range ups {
 			t := ts[i]
-			if node, short := infeasible(t, t.prop.target, s.cluster, pressure, s.arb); node != "" {
+			if node, short := s.checkFeasible(t, pressure); node != "" {
 				t.res.Deferrals++
 				deferred++
 				if s.events {
@@ -653,7 +818,7 @@ func (s *runState) enactPhase(cands []int, pressure float64, now int) {
 				}
 				continue
 			}
-			enact(t, t.prop, s.cluster, s.arb, s.h.Events, s.events, now)
+			s.enactProposal(t, now)
 			granted++
 		}
 		if deferred > 0 {
@@ -671,14 +836,34 @@ func (s *runState) enactPhase(cands []int, pressure float64, now int) {
 	s.ups = ups
 }
 
+// enactProposal routes a granted proposal to the matching enactor.
+func (s *runState) enactProposal(t *tenant, now int) {
+	if t.prop.multi {
+		s.enactMulti(t, now)
+		return
+	}
+	enact(t, t.prop, s.cluster, s.arb, s.h.Events, s.events, now)
+}
+
+// checkFeasible routes the arbiter's capacity check: CPU-only proposals
+// keep the single-dimension node scan; multi proposals bin-pack CPU and
+// RAM deltas together.
+func (s *runState) checkFeasible(t *tenant, pressure float64) (string, float64) {
+	if t.prop.multi {
+		return infeasibleMulti(t, s.cluster, pressure, s.arb)
+	}
+	return infeasible(t, t.prop.target, s.cluster, pressure, s.arb)
+}
+
 // arbScratch holds the phase-2 working storage reused across ticks: the
 // per-node resize tally of infeasible (a pair of parallel slices — sets
 // span a handful of nodes, so linear probing beats a map rebuilt per
 // check) and enact's rollback list.
 type arbScratch struct {
-	nodes []string
-	need  []float64
-	done  []*k8s.Pod
+	nodes   []string
+	need    []float64
+	needMem []float64 // RAM deltas per node (multi-resource proposals)
+	done    []*k8s.Pod
 }
 
 // infeasible checks whether granting the tenant's scale-up would

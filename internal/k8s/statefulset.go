@@ -114,6 +114,24 @@ func (s *StatefulSet) AddReplica(cluster *Cluster, cpuCores int, seedUntil int64
 	return p, nil
 }
 
+// RemoveReplica shrinks the set horizontally by one: the highest-ordinal
+// secondary is evicted from the cluster and dropped from the set. The
+// primary is never removed — a one-pod set cannot shrink. Returns the
+// removed pod, or an error when no removable secondary exists.
+func (s *StatefulSet) RemoveReplica(cluster *Cluster) (*Pod, error) {
+	for i := len(s.Pods) - 1; i >= 0; i-- {
+		p := s.Pods[i]
+		if p.Role != RoleSecondary {
+			continue
+		}
+		cluster.Evict(p)
+		p.Phase = PhasePending // unbound; no terminal phase in the model
+		s.Pods = append(s.Pods[:i], s.Pods[i+1:]...)
+		return p, nil
+	}
+	return nil, fmt.Errorf("k8s: %s has no removable secondary: %w", s.Name, errs.ErrInvalidConfig)
+}
+
 // CPULimit returns the set's common whole-core CPU limit (all replicas
 // share one spec; during a rolling update pods may briefly diverge, in
 // which case the primary's spec is authoritative, matching how the

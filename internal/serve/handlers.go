@@ -18,10 +18,11 @@ import (
 //
 //	PUT  /v1/tenants/{id}                register (or reconfigure) a tenant
 //	GET  /v1/tenants/{id}                tenant status
-//	POST /v1/tenants/{id}/samples        ingest NDJSON samples {"cpu": 1.5}
+//	POST /v1/tenants/{id}/samples        ingest NDJSON samples {"cpu": 1.5, "ram_gb": 3.2, "disk_gb": 12}
 //	GET  /v1/tenants/{id}/decisions      decision stream (since=, explain=1)
 //	GET  /v1/admin/tenants               list tenants with their ranges
-//	PUT  /v1/admin/tenants/{id}/range    retune {"min_cores","max_cores"}
+//	PUT  /v1/admin/tenants/{id}/range    retune {"min_cores","max_cores"} (+ optional
+//	                                     "min_ram_gb","max_ram_gb","disk_gb","max_replicas")
 //	PUT  /v1/admin/tenants/{id}/policy   hot-swap {"policy": "vpa"}
 //	POST /v1/admin/snapshot              checkpoint now
 //	GET  /metrics                        runtime metrics table
@@ -145,6 +146,12 @@ type tenantStatus struct {
 	MaxCores int    `json:"max_cores"`
 	Samples  int    `json:"samples"`
 	Decision int64  `json:"decisions"`
+	// Multi-resource grants, appended after the v1 fields and omitted for
+	// CPU-only tenants (their rows stay byte-identical).
+	RAMGB    int `json:"ram_gb,omitempty"`
+	MaxRAMGB int `json:"max_ram_gb,omitempty"`
+	DiskGB   int `json:"disk_gb,omitempty"`
+	Replicas int `json:"replicas,omitempty"`
 }
 
 // statusOf snapshots a tenant's status row. Caller holds the tenant lock
@@ -158,6 +165,10 @@ func (s *Server) statusOf(t *tenantState) tenantStatus {
 		MaxCores: t.cfg.MaxCores,
 		Samples:  t.minute,
 		Decision: t.seq,
+		RAMGB:    t.ramGB,
+		MaxRAMGB: t.cfg.MaxRAMGB,
+		DiskGB:   t.diskGB,
+		Replicas: t.replicas,
 	}
 }
 
@@ -295,14 +306,20 @@ func (s *Server) lookupQuiet(id string, fn func(*tenantState)) {
 	t.mu.Unlock()
 }
 
-// handleAdminRange retunes a tenant's min/max core range (the Zerops
+// handleAdminRange retunes a tenant's resource ranges (the Zerops
 // scaling-API verb: adjust the autoscaling bounds, let the autoscaler
-// move inside them). The current allocation is clamped into the new
-// range immediately.
+// move inside them). The CPU pair is required; the multi-resource fields
+// are optional and, when zero, leave that dimension's bounds untouched —
+// so a CPU-only PUT behaves exactly as it did before the vector API.
+// Current grants are clamped into the new ranges immediately.
 func (s *Server) handleAdminRange(w http.ResponseWriter, r *http.Request) {
 	var body struct {
-		MinCores int `json:"min_cores"`
-		MaxCores int `json:"max_cores"`
+		MinCores    int `json:"min_cores"`
+		MaxCores    int `json:"max_cores"`
+		MinRAMGB    int `json:"min_ram_gb"`
+		MaxRAMGB    int `json:"max_ram_gb"`
+		DiskGB      int `json:"disk_gb"`
+		MaxReplicas int `json:"max_replicas"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
 		httpError(w, http.StatusBadRequest, "range: %v", err)
@@ -313,6 +330,18 @@ func (s *Server) handleAdminRange(w http.ResponseWriter, r *http.Request) {
 			body.MinCores, body.MaxCores)
 		return
 	}
+	if body.MinRAMGB > 0 && body.MaxRAMGB == 0 {
+		httpError(w, http.StatusBadRequest, "range: min_ram_gb needs max_ram_gb")
+		return
+	}
+	if body.MaxRAMGB > 0 && body.MinRAMGB > body.MaxRAMGB {
+		httpError(w, http.StatusBadRequest, "range: min_ram_gb %d > max_ram_gb %d", body.MinRAMGB, body.MaxRAMGB)
+		return
+	}
+	if body.DiskGB < 0 || body.MaxReplicas < 0 {
+		httpError(w, http.StatusBadRequest, "range: negative disk_gb or max_replicas")
+		return
+	}
 	s.lookup(w, r.PathValue("id"), func(t *tenantState) {
 		t.cfg.MinCores = body.MinCores
 		t.cfg.MaxCores = body.MaxCores
@@ -321,6 +350,42 @@ func (s *Server) handleAdminRange(w http.ResponseWriter, r *http.Request) {
 		}
 		if t.cores > body.MaxCores {
 			t.cores = body.MaxCores
+		}
+		if body.MaxRAMGB > 0 {
+			t.cfg.MinRAMGB = body.MinRAMGB
+			if t.cfg.MinRAMGB <= 0 {
+				t.cfg.MinRAMGB = 1
+			}
+			t.cfg.MaxRAMGB = body.MaxRAMGB
+			if t.cfg.InitialRAMGB == 0 {
+				t.cfg.InitialRAMGB = t.cfg.MinRAMGB
+			}
+			if t.ramGB < t.cfg.MinRAMGB {
+				t.ramGB = t.cfg.MinRAMGB
+			}
+			if t.ramGB > t.cfg.MaxRAMGB {
+				t.ramGB = t.cfg.MaxRAMGB
+			}
+		}
+		if body.DiskGB > 0 {
+			t.cfg.DiskGB = body.DiskGB
+			if t.cfg.MaxDiskGB > 0 && t.cfg.MaxDiskGB < body.DiskGB {
+				t.cfg.MaxDiskGB = body.DiskGB
+			}
+			// Volumes only grow: an admin can provision ahead of demand but
+			// never shrink under live data.
+			if t.diskGB < body.DiskGB {
+				t.diskGB = body.DiskGB
+			}
+		}
+		if body.MaxReplicas > 0 {
+			t.cfg.MaxReplicas = body.MaxReplicas
+			if t.replicas == 0 {
+				t.replicas = 1
+			}
+			if t.replicas > body.MaxReplicas {
+				t.replicas = body.MaxReplicas
+			}
 		}
 		writeJSON(w, http.StatusOK, s.statusOf(t))
 	})

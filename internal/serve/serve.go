@@ -108,6 +108,29 @@ type TenantConfig struct {
 	Window  int `json:"window,omitempty"`
 	Horizon int `json:"horizon,omitempty"`
 	Season  int `json:"season,omitempty"`
+
+	// Multi-resource bounds (all omitted for CPU-only tenants, keeping
+	// their JSON — and the v1 snapshot shape — byte-identical).
+
+	// MinRAMGB / MaxRAMGB bound the RAM grant in GB; a non-zero
+	// MaxRAMGB enables RAM scaling under the dual-threshold policy.
+	MinRAMGB int `json:"min_ram_gb,omitempty"`
+	MaxRAMGB int `json:"max_ram_gb,omitempty"`
+	// InitialRAMGB is the starting grant (default MinRAMGB).
+	InitialRAMGB int `json:"initial_ram_gb,omitempty"`
+	// DiskGB is the initial volume size in GB; a non-zero value enables
+	// grow-only volume sizing, bounded by MaxDiskGB (0 = unbounded).
+	DiskGB    int `json:"disk_gb,omitempty"`
+	MaxDiskGB int `json:"max_disk_gb,omitempty"`
+	// MaxReplicas enables horizontal overflow for stateless tiers: a
+	// replica is recommended when the CPU target pins at MaxCores under
+	// high observed usage (0 = vertical only).
+	MaxReplicas int `json:"max_replicas,omitempty"`
+}
+
+// multi reports whether the tenant manages any non-CPU dimension.
+func (c *TenantConfig) multi() bool {
+	return c.MaxRAMGB > 0 || c.DiskGB > 0 || c.MaxReplicas > 0
 }
 
 func (c *TenantConfig) normalize() error {
@@ -129,6 +152,37 @@ func (c *TenantConfig) normalize() error {
 	if c.InitialCores < c.MinCores || c.InitialCores > c.MaxCores {
 		return fmt.Errorf("serve: initial_cores %d outside [%d, %d]: %w",
 			c.InitialCores, c.MinCores, c.MaxCores, errs.ErrInvalidConfig)
+	}
+	if c.MaxRAMGB > 0 {
+		if c.MinRAMGB <= 0 {
+			c.MinRAMGB = 1
+		}
+		if c.MinRAMGB > c.MaxRAMGB {
+			return fmt.Errorf("serve: min_ram_gb %d > max_ram_gb %d: %w", c.MinRAMGB, c.MaxRAMGB, errs.ErrInvalidConfig)
+		}
+		if c.InitialRAMGB == 0 {
+			c.InitialRAMGB = c.MinRAMGB
+		}
+		if c.InitialRAMGB < c.MinRAMGB || c.InitialRAMGB > c.MaxRAMGB {
+			return fmt.Errorf("serve: initial_ram_gb %d outside [%d, %d]: %w",
+				c.InitialRAMGB, c.MinRAMGB, c.MaxRAMGB, errs.ErrInvalidConfig)
+		}
+	} else if c.MinRAMGB > 0 || c.InitialRAMGB > 0 {
+		return fmt.Errorf("serve: RAM bounds need max_ram_gb: %w", errs.ErrInvalidConfig)
+	}
+	if c.DiskGB < 0 || c.MaxDiskGB < 0 {
+		return fmt.Errorf("serve: negative disk bounds: %w", errs.ErrInvalidConfig)
+	}
+	if c.MaxDiskGB > 0 {
+		if c.DiskGB == 0 {
+			return fmt.Errorf("serve: max_disk_gb needs disk_gb: %w", errs.ErrInvalidConfig)
+		}
+		if c.DiskGB > c.MaxDiskGB {
+			return fmt.Errorf("serve: disk_gb %d > max_disk_gb %d: %w", c.DiskGB, c.MaxDiskGB, errs.ErrInvalidConfig)
+		}
+	}
+	if c.MaxReplicas < 0 {
+		return fmt.Errorf("serve: negative max_replicas: %w", errs.ErrInvalidConfig)
 	}
 	return nil
 }
@@ -170,11 +224,22 @@ type DecisionRecord struct {
 	Quantile float64 `json:"quantile,omitempty"`
 	// Explanation is the lazily materialised prose (explain=1 only).
 	Explanation string `json:"explanation,omitempty"`
+	// RAMFrom/RAMTo, DiskTo and Replicas carry the non-CPU moves of a
+	// multi-resource tenant. Appended after v1's fields and omitted for
+	// CPU-only tenants, so their stream stays byte-identical.
+	RAMFrom  int `json:"ram_from,omitempty"`
+	RAMTo    int `json:"ram_to,omitempty"`
+	DiskTo   int `json:"disk_to,omitempty"`
+	Replicas int `json:"replicas,omitempty"`
 }
 
-// sample is one parsed metric sample.
+// sample is one parsed metric sample. RAM and disk readings are optional
+// (absent for CPU-only tenants) and only consulted when the tenant's
+// config manages the dimension.
 type sample struct {
-	CPU float64 `json:"cpu"`
+	CPU    float64 `json:"cpu"`
+	RAMGB  float64 `json:"ram_gb,omitempty"`
+	DiskGB float64 `json:"disk_gb,omitempty"`
 }
 
 // batch is one enqueued ingest unit: samples for one tenant, stamped at
@@ -205,6 +270,16 @@ type tenantState struct {
 	seq int64
 	// log is the bounded decision ring, oldest first.
 	log []DecisionRecord
+
+	// Multi-resource state, all zero for CPU-only tenants. ramGB/diskGB/
+	// replicas are the current grants; the peaks accumulate between
+	// decisions and reset at each tick.
+	ramGB    int
+	diskGB   int
+	replicas int
+	ramPeak  float64
+	diskHigh float64
+	cpuPeak  float64
 }
 
 // shard is one lock domain of the tenant map plus its ingest lane. Its
@@ -281,6 +356,17 @@ func (s *Server) apply(b batch) {
 	defer t.mu.Unlock()
 	for _, smp := range b.samples {
 		t.rec.Observe(t.minute, smp.CPU)
+		if t.cfg.multi() {
+			if smp.CPU > t.cpuPeak {
+				t.cpuPeak = smp.CPU
+			}
+			if smp.RAMGB > t.ramPeak {
+				t.ramPeak = smp.RAMGB
+			}
+			if smp.DiskGB > t.diskHigh {
+				t.diskHigh = smp.DiskGB
+			}
+		}
 		t.minute++
 		if t.minute%s.opts.DecisionEveryMinutes == 0 {
 			s.decide(t, b.enq)
@@ -316,6 +402,9 @@ func (s *Server) decide(t *tenantState, enq time.Time) {
 		rec.Quantile = d.Quantile
 	}
 	t.cores = target
+	if t.cfg.multi() {
+		s.decideMulti(t, &rec, target)
+	}
 	if len(t.log) == s.opts.DecisionLogSize {
 		copy(t.log, t.log[1:])
 		t.log = t.log[:len(t.log)-1]
@@ -325,6 +414,44 @@ func (s *Server) decide(t *tenantState, enq time.Time) {
 	if !enq.IsZero() {
 		s.opts.Metrics.Histogram("serve.decision_latency").ObserveSince(enq)
 	}
+}
+
+// horizontalHeadroom mirrors fleet's overflow threshold: a replica is
+// recommended only when the tier runs hotter than 75% of its pinned
+// vertical ceiling.
+const horizontalHeadroom = 0.25
+
+// decideMulti moves the tenant's non-CPU dimensions at a decision tick:
+// RAM under the dual-threshold policy, disk grow-only, and — for tenants
+// with a replica budget — vertical-first horizontal overflow once the
+// CPU target pins at MaxCores. Caller holds the tenant lock; rec is the
+// in-flight decision record the moves are appended to.
+func (s *Server) decideMulti(t *tenantState, rec *DecisionRecord, target int) {
+	if t.cfg.MaxRAMGB > 0 {
+		ramTo := recommend.MemoryPolicy{}.Target(t.ramGB, t.ramPeak, t.cfg.MinRAMGB, t.cfg.MaxRAMGB)
+		if ramTo != t.ramGB {
+			rec.RAMFrom, rec.RAMTo = t.ramGB, ramTo
+			t.ramGB = ramTo
+		}
+	}
+	if t.cfg.DiskGB > 0 {
+		if diskTo := (recommend.DiskPolicy{}).Target(t.diskGB, t.diskHigh, t.cfg.MaxDiskGB); diskTo > t.diskGB {
+			rec.DiskTo = diskTo
+			t.diskGB = diskTo
+		}
+	}
+	if t.cfg.MaxReplicas > 0 {
+		hot := float64(t.cfg.MaxCores) * (1 - horizontalHeadroom)
+		switch {
+		case target >= t.cfg.MaxCores && t.cpuPeak > hot && t.replicas < t.cfg.MaxReplicas:
+			t.replicas++
+			rec.Replicas = t.replicas
+		case t.replicas > 1 && target < t.cfg.MaxCores:
+			t.replicas--
+			rec.Replicas = t.replicas
+		}
+	}
+	t.ramPeak, t.diskHigh, t.cpuPeak = 0, 0, 0
 }
 
 // newTenant constructs a tenant from its config (the recommender wired
@@ -340,7 +467,13 @@ func (s *Server) newTenant(id string, cfg TenantConfig) (*tenantState, error) {
 	if in, ok := rec.(recommend.Instrumentable); ok && obs.Enabled(s.events.sink) {
 		in.SetEventSink(s.events)
 	}
-	return &tenantState{id: id, cfg: cfg, rec: rec, cores: cfg.InitialCores}, nil
+	t := &tenantState{id: id, cfg: cfg, rec: rec, cores: cfg.InitialCores}
+	t.ramGB = cfg.InitialRAMGB
+	t.diskGB = cfg.DiskGB
+	if cfg.MaxReplicas > 0 {
+		t.replicas = 1
+	}
+	return t, nil
 }
 
 // Handler returns the server's HTTP handler (see routes in handlers.go).

@@ -14,9 +14,15 @@ import (
 	"caasper/internal/recommend"
 )
 
-// snapshotVersion is the checkpoint format version; Load rejects files
-// from a different major format.
-const snapshotVersion = 1
+// snapshotVersion is the checkpoint format version. Version 2 added the
+// multi-resource tenant fields (all omitempty, so a CPU-only v2 tenant
+// line is byte-identical to its v1 spelling); Restore still accepts v1
+// checkpoints, whose tenants resume with RAM/disk/replicas at their
+// config defaults.
+const snapshotVersion = 2
+
+// snapshotVersionV1 is the CPU-only predecessor Restore migrates from.
+const snapshotVersionV1 = 1
 
 // snapshotHeader is the first NDJSON line of a checkpoint.
 type snapshotHeader struct {
@@ -37,6 +43,15 @@ type snapshotTenant struct {
 	HasState bool             `json:"has_state"`
 	State    recommend.State  `json:"state,omitempty"`
 	Log      []DecisionRecord `json:"log,omitempty"`
+	// Multi-resource state (v2, omitted for CPU-only tenants): current
+	// grants plus the between-decision peaks, so a restored tenant's next
+	// multi decision is bit-identical too.
+	RAMGB    int     `json:"ram_gb,omitempty"`
+	DiskGB   int     `json:"disk_gb,omitempty"`
+	Replicas int     `json:"replicas,omitempty"`
+	RAMPeak  float64 `json:"ram_peak,omitempty"`
+	DiskHigh float64 `json:"disk_high,omitempty"`
+	CPUPeak  float64 `json:"cpu_peak,omitempty"`
 }
 
 // Snapshot checkpoints every tenant to path as versioned NDJSON: one
@@ -63,6 +78,14 @@ func (s *Server) Snapshot(path string) error {
 				Minute: t.minute,
 				Seq:    t.seq,
 				Log:    t.log,
+			}
+			if t.cfg.multi() {
+				st.RAMGB = t.ramGB
+				st.DiskGB = t.diskGB
+				st.Replicas = t.replicas
+				st.RAMPeak = t.ramPeak
+				st.DiskHigh = t.diskHigh
+				st.CPUPeak = t.cpuPeak
 			}
 			if snap, can := t.rec.(recommend.StateSnapshotter); can {
 				st.HasState = true
@@ -128,7 +151,7 @@ func (s *Server) Restore(r io.Reader) error {
 	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
 		return fmt.Errorf("serve: restore: header: %w", err)
 	}
-	if hdr.Format != "caasper-serve" || hdr.Version != snapshotVersion {
+	if hdr.Format != "caasper-serve" || (hdr.Version != snapshotVersion && hdr.Version != snapshotVersionV1) {
 		return fmt.Errorf("serve: restore: unsupported snapshot format %q version %d", hdr.Format, hdr.Version)
 	}
 	n := 0
@@ -148,6 +171,22 @@ func (s *Server) Restore(r io.Reader) error {
 		t.minute = st.Minute
 		t.seq = st.Seq
 		t.log = st.Log
+		if t.cfg.multi() {
+			// v1 lines carry no multi fields: zero grants keep the
+			// newTenant config defaults, peaks restart cold.
+			if st.RAMGB > 0 {
+				t.ramGB = st.RAMGB
+			}
+			if st.DiskGB > 0 {
+				t.diskGB = st.DiskGB
+			}
+			if st.Replicas > 0 {
+				t.replicas = st.Replicas
+			}
+			t.ramPeak = st.RAMPeak
+			t.diskHigh = st.DiskHigh
+			t.cpuPeak = st.CPUPeak
+		}
 		if st.HasState {
 			snap, can := t.rec.(recommend.StateSnapshotter)
 			if !can {

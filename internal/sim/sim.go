@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"caasper/internal/billing"
+	"caasper/internal/core"
 	"caasper/internal/errs"
 	"caasper/internal/faults"
 	"caasper/internal/hooks"
@@ -37,10 +38,30 @@ type Options struct {
 	// wins (see hooks.RunHooks.Merge).
 	hooks.RunHooks
 	// InitialCores is the allocation at trace start.
+	//
+	// Deprecated: set Resources.Initial.CPUCores. A non-zero value here
+	// wins, so seed callers behave identically.
 	InitialCores int
 	// MinCores / MaxCores are the scaler's safety clamps (Figure 1,
 	// step 5 performs "health and resource safety checks").
+	//
+	// Deprecated: set Resources.Min/Max.CPUCores. Non-zero values here
+	// win, so seed callers behave identically.
 	MinCores, MaxCores int
+	// Resources is the canonical resource-vector spelling of the run's
+	// bounds, shared with fleet.TenantSpec and dbsim.HarnessOptions.
+	// Managing a non-CPU dimension (non-zero Max.RAMGB or Max.DiskGB)
+	// is meaningful only to RunVector; plain Run reads just the CPU
+	// entries.
+	Resources core.ResourceRange
+	// RAMTrace / DiskTrace are the per-minute RAM demand and disk usage
+	// series in GB for RunVector; nil derives them deterministically
+	// from the CPU trace (workload.DeriveRAM / DeriveDisk).
+	RAMTrace, DiskTrace *trace.Trace
+	// Mem / Disk tune RunVector's RAM and disk policies (zero values:
+	// defaults).
+	Mem  recommend.MemoryPolicy
+	Disk recommend.DiskPolicy
 	// DecisionEveryMinutes is the recommender polling cadence.
 	DecisionEveryMinutes int
 	// ResizeDelayMinutes models the rolling-update latency: a decision
@@ -103,6 +124,13 @@ type Options struct {
 // top-level aliases overlaid on the embedded RunHooks.
 func (o Options) Hooks() hooks.RunHooks {
 	return o.RunHooks.Merge(o.Events, o.Metrics, o.Faults, o.FaultSeed)
+}
+
+// Range resolves the run's effective resource bounds: the deprecated
+// scalar CPU fields overlay the vector (non-zero wins), the same merge
+// fleet.TenantSpec.Range performs.
+func (o Options) Range() core.ResourceRange {
+	return o.Resources.MergeCPU(o.InitialCores, o.MinCores, o.MaxCores)
 }
 
 // DefaultOptions returns the configuration used across the experiments:

@@ -1,0 +1,38 @@
+package workload
+
+import "caasper/internal/trace"
+
+// DeriveRAM synthesises a per-minute RAM demand trace (GB) from a CPU
+// demand trace: an affine load component (baseGB + gbPerCore × cpu)
+// under a sticky decay, because resident memory follows load up quickly
+// (working sets, connection buffers) but drains slowly (page cache,
+// allocator retention). Deterministic — no randomness — so the derived
+// trace is byte-identical across runs and worker counts.
+func DeriveRAM(tr *trace.Trace, baseGB, gbPerCore float64) *trace.Trace {
+	const decay = 0.995 // ~2.3h half-life of the resident high-water mark
+	vals := make([]float64, tr.Len())
+	prev := baseGB
+	for i := range vals {
+		r := baseGB + gbPerCore*tr.At(i)
+		if sticky := prev * decay; sticky > r {
+			r = sticky
+		}
+		vals[i] = r
+		prev = r
+	}
+	return trace.New(tr.Name+"-ram", tr.Interval, vals)
+}
+
+// DeriveDisk synthesises a per-minute disk usage trace (GB) from a CPU
+// demand trace: a monotone accumulation of baseGB plus gbPerCoreHour of
+// writes per core-hour of work — the WAL/compaction-shaped growth that
+// makes disk a grow-only dimension. Deterministic.
+func DeriveDisk(tr *trace.Trace, baseGB, gbPerCoreHour float64) *trace.Trace {
+	vals := make([]float64, tr.Len())
+	acc := baseGB
+	for i := range vals {
+		acc += tr.At(i) / 60 * gbPerCoreHour
+		vals[i] = acc
+	}
+	return trace.New(tr.Name+"-disk", tr.Interval, vals)
+}

@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"caasper/internal/trace"
+)
+
+func TestDeriveRAMStickyAndDeterministic(t *testing.T) {
+	cpu := trace.New("t", time.Minute, []float64{1, 8, 8, 1, 1, 1})
+	a := DeriveRAM(cpu, 1, 0.5)
+	b := DeriveRAM(cpu, 1, 0.5)
+	if a.Len() != cpu.Len() {
+		t.Fatalf("length %d, want %d", a.Len(), cpu.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.At(i) != b.At(i) {
+			t.Fatalf("nondeterministic at %d: %v vs %v", i, a.At(i), b.At(i))
+		}
+	}
+	// Ram rises with load...
+	if a.At(1) <= a.At(0) {
+		t.Fatalf("RAM should follow load up: %v then %v", a.At(0), a.At(1))
+	}
+	// ...but decays slowly after it drops (sticky: still above the
+	// affine level 1.5 one minute after the spike ends).
+	if a.At(3) <= 1.5 {
+		t.Fatalf("RAM at %v right after spike, want sticky decay above 1.5", a.At(3))
+	}
+	if a.At(5) > a.At(3) {
+		t.Fatal("RAM must decay while load is flat")
+	}
+}
+
+func TestDeriveDiskMonotone(t *testing.T) {
+	cpu := trace.New("t", time.Minute, []float64{2, 0, 4, 1})
+	d := DeriveDisk(cpu, 10, 3)
+	prev := 0.0
+	for i := 0; i < d.Len(); i++ {
+		if d.At(i) < prev {
+			t.Fatalf("disk shrank at %d: %v < %v", i, d.At(i), prev)
+		}
+		prev = d.At(i)
+	}
+	if d.At(0) <= 10 {
+		t.Fatalf("disk must start above base: %v", d.At(0))
+	}
+}

@@ -21,6 +21,12 @@ go run ./cmd/caasper-sim -workload workday12h -recommender caasper,vpa -workers 
     -fault-seed 7 -events "$OUT/sim.ndjson" >/dev/null
 grep -E '"type":"(fault|sim)\.' "$OUT/sim.ndjson" > "$OUT/sim-chaos.ndjson"
 
+echo "==> chaos vector sim (caasper + ram=4-16, mem-pressure, fault-seed 7)"
+go run ./cmd/caasper-sim -workload workday12h -recommender caasper -resources ram=4-16 \
+    -faults "mem-pressure:p=0.3:dur=60:gb=4" \
+    -fault-seed 7 -events "$OUT/sim-mem.ndjson" -plot=false >/dev/null
+grep -E '"type":"(fault|sim)\.' "$OUT/sim-mem.ndjson" > "$OUT/sim-mem-chaos.ndjson"
+
 echo "==> chaos live run (workday on Database A, fault-seed 7)"
 go run ./cmd/caasper-live -workload workday -recommender caasper \
     -faults "restart-fail:p=0.1,restart-stuck:p=0.05:dur=600,metrics-gap:p=0.0005" \
@@ -31,6 +37,7 @@ GOLD=testdata/chaos
 if [ "${UPDATE:-0}" = "1" ]; then
     mkdir -p "$GOLD"
     cp "$OUT/sim-chaos.ndjson" "$GOLD/sim-chaos.golden.ndjson"
+    cp "$OUT/sim-mem-chaos.ndjson" "$GOLD/sim-mem-chaos.golden.ndjson"
     cp "$OUT/live-chaos.ndjson" "$GOLD/live-chaos.golden.ndjson"
     wc -l "$GOLD"/*.ndjson
     echo "==> goldens regenerated in $GOLD/"
@@ -38,5 +45,6 @@ if [ "${UPDATE:-0}" = "1" ]; then
 fi
 
 diff -u "$GOLD/sim-chaos.golden.ndjson" "$OUT/sim-chaos.ndjson"
+diff -u "$GOLD/sim-mem-chaos.golden.ndjson" "$OUT/sim-mem-chaos.ndjson"
 diff -u "$GOLD/live-chaos.golden.ndjson" "$OUT/live-chaos.ndjson"
 echo "==> OK: chaos event streams byte-identical to goldens"

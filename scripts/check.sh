@@ -27,6 +27,12 @@ go test -race -run 'Chaos|Fault|Operator|ScalerCursor|ScalerCarries|ScalerHolds|
 echo "==> apicheck (exported API vs testdata/api.txt)"
 sh scripts/apicheck.sh
 
+# Chaos goldens: fixed-seed fault streams — including the multi-resource
+# mem-pressure scenario — must stay byte-identical to testdata/chaos/
+# (regenerate: UPDATE=1 sh scripts/chaos.sh).
+echo "==> chaos goldens (fault event streams vs testdata/chaos/)"
+sh scripts/chaos.sh
+
 # Fleet determinism golden: a 16-tenant chaos fleet must produce
 # byte-identical event streams at workers 1/4/8 under -race, matching
 # testdata/fleet/ (regenerate: UPDATE=1 sh scripts/fleet.sh).

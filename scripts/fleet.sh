@@ -38,14 +38,34 @@ for ENG in stepped events; do
 done
 echo "==> engines stepped/events byte-identical at workers 1/4/8"
 
+# Multi-resource determinism: the same contract for the resource-vector
+# path (RAM + disk + horizontal overflow, mem-pressure faults). The
+# events engine rejects multi tenants, so this leg runs stepped only.
+MFAULTS="mem-pressure:p=0.3:gb=3,metrics-gap:p=0.1"
+for W in 1 4 8; do
+    echo "==> fleet multi-resource run (8 tenants, 240 min, small cluster, workers $W, -race)"
+    go run -race ./cmd/caasper-fleet -tenants 8 -minutes 240 -cluster small \
+        -engine stepped -workers "$W" -resources "ram=4-16,disk=5-40,replicas=1-3" \
+        -faults "$MFAULTS" -fault-seed 7 \
+        -events "$OUT/fleet-multi-w$W.ndjson" >/dev/null
+    grep -E '"type":"(fleet|fault)\.' "$OUT/fleet-multi-w$W.ndjson" > "$OUT/fleet-multi-w$W.events.ndjson"
+done
+MREF="$OUT/fleet-multi-w1.events.ndjson"
+for W in 1 4 8; do
+    cmp "$MREF" "$OUT/fleet-multi-w$W.events.ndjson"
+done
+echo "==> multi-resource stream byte-identical at workers 1/4/8"
+
 GOLD=testdata/fleet
 if [ "${UPDATE:-0}" = "1" ]; then
     mkdir -p "$GOLD"
     cp "$REF" "$GOLD/fleet-chaos.golden.ndjson"
-    wc -l "$GOLD/fleet-chaos.golden.ndjson"
-    echo "==> golden regenerated in $GOLD/"
+    cp "$MREF" "$GOLD/fleet-multi.golden.ndjson"
+    wc -l "$GOLD"/*.golden.ndjson
+    echo "==> goldens regenerated in $GOLD/"
     exit 0
 fi
 
 diff -u "$GOLD/fleet-chaos.golden.ndjson" "$REF"
-echo "==> OK: fleet event stream byte-identical to golden under both engines at every worker count"
+diff -u "$GOLD/fleet-multi.golden.ndjson" "$MREF"
+echo "==> OK: fleet event streams byte-identical to goldens under both engines at every worker count"
