@@ -7,6 +7,7 @@
 package caasper_test
 
 import (
+	"runtime/debug"
 	"testing"
 
 	"caasper"
@@ -62,6 +63,11 @@ func TestMonthReplaySteadyStateAllocs(t *testing.T) {
 		}
 	}
 	const monthMinutes = 43200
+	// A GC cycle mid-measurement clears sync.Pool caches, and the next
+	// Get's refill shows up as an "allocation" of the replay loop —
+	// pausing the collector keeps the pin about the code path, not about
+	// collector timing (which earlier tests' heap pressure perturbs).
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
 	allocs := testing.AllocsPerRun(1, func() {
 		for m := 0; m < monthMinutes; m++ {
 			rec.Observe(m, vals[m%len(vals)])

@@ -562,6 +562,25 @@ func BenchmarkFleetMonth100k(b *testing.B) {
 	b.ReportMetric(float64(ms.Sys)/(1<<20), "heap_sys_MB")
 }
 
+// BenchmarkFleetMonth10k is the core-scaling probe: the same month
+// workload at a tenth the tenants, small enough to repeat at several
+// -cpu values (scripts/bench.sh runs it at -cpu 1,4,8 and keeps each
+// GOMAXPROCS variant as its own row). Under the default Sharding auto
+// the 128 bench nodes split the fleet into node-disjoint shard groups
+// that run concurrently, so tenant_minutes/s should track cores until
+// the sequential merge becomes the bottleneck (Amdahl's ceiling).
+func BenchmarkFleetMonth10k(b *testing.B) {
+	const tenants, minutes = 10_000, 43_200
+	for i := 0; i < b.N; i++ {
+		specs, opts := benchMonthSpecs(b, tenants, minutes)
+		opts.Engine = caasper.FleetEngineEvents
+		if _, err := caasper.RunFleet(specs, opts); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(tenants)*minutes*float64(i+1)/b.Elapsed().Seconds(), "tenant_minutes/s")
+	}
+}
+
 func BenchmarkRandomSearch(b *testing.B) {
 	tr := caasper.Workloads["workday12h"](1)
 	opts := caasper.DefaultSimOptions(6, 8)

@@ -505,6 +505,18 @@ const (
 	FleetEngineEvents  = fleet.EngineEvents
 )
 
+// Fleet sharding modes, for FleetOptions.Sharding: the event engine's
+// shard-parallel mode (the default, also selected by "") partitions the
+// fleet into node-disjoint shard groups — tenants that can never contend
+// for the same node's capacity — and runs them concurrently, merging the
+// per-shard outputs back into the single-shard byte order afterwards.
+// FleetShardingOff forces the single-shard reference loop; results and
+// event streams are byte-identical either way.
+const (
+	FleetShardingAuto = fleet.ShardingAuto
+	FleetShardingOff  = fleet.ShardingOff
+)
+
 // DefaultFleetOptions returns the fleet defaults: 10-minute decisions,
 // hourly billing, shortest-trace horizon.
 func DefaultFleetOptions() FleetOptions { return fleet.DefaultOptions() }

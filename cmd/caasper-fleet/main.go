@@ -65,6 +65,7 @@ func main() {
 		faultSpecStr = flag.String("faults", "", `fault-injection spec, e.g. "restart-fail:p=0.2,metrics-gap:p=0.05,sched-pressure:p=0.5:dur=60:cores=4" (times in minutes; empty: fault-free)`)
 		faultSeed    = flag.Uint64("fault-seed", 1, "fault-injection seed (same seed, same faults, byte-identical stream)")
 		engine       = flag.String("engine", "stepped", "tick engine: stepped (minute-by-minute reference) or events (discrete-event wake queue; byte-identical output)")
+		sharding     = flag.String("sharding", "auto", "events-engine shard parallelism: auto (run node-disjoint tenant groups concurrently) or off (single-shard reference loop; byte-identical output)")
 		resourceSpec = flag.String("resources", "", `resource-vector spec applied to every tenant, e.g. "ram=4-16,disk=5-40" or "ram=4-32,replicas=1-4" (a replicas range marks the tenants stateless for horizontal overflow; requires the stepped engine)`)
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the fleet run to this file")
@@ -175,6 +176,7 @@ func main() {
 	opts.FaultSpec = spec
 	opts.FaultSeed = *faultSeed
 	opts.Engine = *engine
+	opts.Sharding = *sharding
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

@@ -150,6 +150,11 @@ type Scratch struct {
 	memoCores int
 	memoClean []float64
 	memoDec   Decision
+
+	// evFields is the reusable audit-event field buffer: Sink.Emit lets
+	// callers reclaim the backing after it returns, so the per-decision
+	// event costs zero steady-state allocations.
+	evFields []obs.Field
 }
 
 // expKind discriminates the prose templates of Explanation(). Branch
@@ -256,7 +261,7 @@ func (s *Scratch) MemoSnapshot() MemoState {
 // survives, mirroring the reset contract.
 func (r *Recommender) RestoreMemo(sc *Scratch, m MemoState) {
 	if sc.owner != r {
-		*sc = Scratch{owner: r, Sink: sc.Sink}
+		*sc = Scratch{owner: r, Sink: sc.Sink, evFields: sc.evFields}
 	}
 	sc.Now = m.Now
 	sc.memoValid = m.Valid
@@ -276,7 +281,7 @@ func (r *Recommender) RestoreMemo(sc *Scratch, m MemoState) {
 // emitDecision writes the per-evaluation audit event. Callers guard on
 // Sink being enabled so the disabled path costs one branch.
 func (sc *Scratch) emitDecision(d Decision, memoHit bool) {
-	sc.Sink.Emit(obs.Event{T: sc.Now, Type: "core.decision", Fields: []obs.Field{
+	sc.evFields = append(sc.evFields[:0],
 		obs.I("cores", int64(d.CurrentCores)),
 		obs.I("target", int64(d.TargetCores)),
 		obs.S("branch", string(d.Branch)),
@@ -285,7 +290,8 @@ func (sc *Scratch) emitDecision(d Decision, memoHit bool) {
 		obs.F("raw_sf", d.RawSF),
 		obs.F("quantile", d.Quantile),
 		obs.B("memo", memoHit),
-	}})
+	)
+	sc.Sink.Emit(obs.Event{T: sc.Now, Type: "core.decision", Fields: sc.evFields})
 }
 
 // Decide runs Algorithm 1 for the current allocation and usage window
@@ -315,7 +321,7 @@ func (r *Recommender) DecideScratch(sc *Scratch, currentCores int, usage []float
 	if sc.owner != r {
 		// Reset evaluation state but keep the caller-attached telemetry:
 		// a sink installed before the first decision must survive this.
-		*sc = Scratch{owner: r, Sink: sc.Sink, Now: sc.Now}
+		*sc = Scratch{owner: r, Sink: sc.Sink, Now: sc.Now, evFields: sc.evFields}
 	}
 	cfg := r.cfg
 	xc := stats.ClampInt(currentCores, cfg.SKUs.MinCores, cfg.SKUs.MaxCores)

@@ -272,6 +272,21 @@ func New(spec *Spec, seed uint64) *Injector {
 	return &Injector{spec: spec, seed: seed, pressureWindow: -1, memWindow: -1, src: src, rng: rand.New(src)}
 }
 
+// Clone returns an independent silent replayer of the same fault
+// stream: identical spec and seed — so every (kind, pod, time)-keyed
+// draw matches the original's — but its own PRNG scratch (draws re-seed
+// per query, so clones running concurrently stay deterministic), fresh
+// edge-dedupe state, zero counts and no Events/Stats sinks. Callers
+// that shard a run across clones re-derive counts and edge events from
+// one authoritative injector; the clones only need the draw values.
+// Nil-safe: cloning a nil injector returns nil.
+func (in *Injector) Clone() *Injector {
+	if in == nil {
+		return nil
+	}
+	return New(in.spec, in.seed)
+}
+
 // Seed returns the injector's seed (0 for nil).
 func (in *Injector) Seed() uint64 {
 	if in == nil {

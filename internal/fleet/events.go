@@ -116,17 +116,14 @@ func (s *runState) nextDecisionAt(m int) int {
 	return nd
 }
 
-// runEvents is the discrete-event engine loop. See the file comment for
-// the design and the equivalence argument.
-func (s *runState) runEvents() error {
-	ts := s.ts
-	ctx := context.Background()
-
+// prepEvents initializes the per-tenant event-engine state shared by the
+// single-shard and sharded loops.
+func (s *runState) prepEvents() {
 	// Trace run starts are shared: fleets commonly replay a few workload
 	// shapes across many tenants, so the inflection scan runs once per
 	// distinct trace, not once per tenant.
 	runsByTrace := make(map[*trace.Trace][]int32)
-	for _, t := range ts {
+	for _, t := range s.ts {
 		r, ok := runsByTrace[t.spec.Trace]
 		if !ok {
 			r = t.spec.Trace.RunStarts()
@@ -142,11 +139,54 @@ func (s *runState) runEvents() error {
 		// tenant — can change it.
 		t.lim = t.set.CPULimit()
 	}
+}
+
+// uniformWake reports the single minute every awake tenant re-wakes at,
+// or −1 when the wakes diverge (or any tenant sleeps forever). When the
+// wake heap is empty, the awake list holds every live tenant, so a
+// uniform wake means the next tick's awake set is *this* list verbatim —
+// the tick loops skip the heap round-trip entirely. Noisy fleets, whose
+// tenants can never prove steadiness and therefore all march tick to
+// tick in lockstep, spend their whole run on this path.
+func uniformWake(ts []*tenant, awake []int) int {
+	w := ts[awake[0]].wakeAt
+	if w < 0 {
+		return -1
+	}
+	for _, i := range awake[1:] {
+		if ts[i].wakeAt != w {
+			return -1
+		}
+	}
+	return w
+}
+
+// runEvents is the discrete-event engine dispatcher: it preps the
+// per-tenant event state, then — unless Options.Sharding is off — splits
+// the fleet into node-disjoint shard groups and runs them concurrently
+// (shard.go). Fleets that form a single contention group (and one-tenant
+// fleets) fall through to the single-shard reference loop.
+func (s *runState) runEvents() error {
+	s.prepEvents()
+	if s.shard != ShardingOff {
+		if idxs, offsets := shardPartition(s.ts); len(offsets) > 2 {
+			return s.runEventsSharded(idxs, offsets)
+		}
+	}
+	return s.runEventsSingle()
+}
+
+// runEventsSingle is the single-shard discrete-event loop. See the file
+// comment for the design and the equivalence argument.
+func (s *runState) runEventsSingle() error {
+	ts := s.ts
+	ctx := context.Background()
 
 	var heap wakeHeap
 	if d0 := s.nextDecisionAt(0); d0 >= 0 {
 		// Every tenant's first wake is the first decision tick. Equal keys
-		// in index order are already a valid min-heap.
+		// in index order are already a valid min-heap. Each tenant holds at
+		// most one pending wake, so the heap never outgrows this backing.
 		heap = make(wakeHeap, len(ts))
 		for i := range ts {
 			heap[i] = wakeEntry{at: int32(d0), idx: int32(i)}
@@ -166,57 +206,69 @@ func (s *runState) runEvents() error {
 			awake = append(awake, int(heap.pop().idx))
 		}
 
-		// Catch the fleet-level scheduling pressure up through the
-		// decision minute — one draw per window, same stream as the
-		// stepped engine's per-minute polling. Pressure edges for minutes
-		// ≤ d are emitted before this tick's phase-2 events, exactly as
-		// the stepped segment prologue interleaves them.
-		if s.finj != nil {
-			pressure = s.finj.AdvancePressure(int64(clock), int64(d+1))
-			s.cluster.SetPressure(pressure)
-		}
-		clock = d + 1
-
-		// Severity is defined as the insufficiency since the previous
-		// decision tick — even for tenants that slept through it — so
-		// catch-up accumulates it only from sevFrom on.
-		sevFrom := d - s.d + 1
-		if d == s.warmup {
-			sevFrom = 0 // first decision: severity covers the warm-up
-		}
-
-		// Phase 1 — parallel catch-up + decide over the awake tenants
-		// only. Each task touches one tenant's state; sleeping tenants are
-		// untouched and, by the sleep contract, unchanged.
-		err := parallel.ForEach(ctx, len(awake), s.workers, func(k int) error {
-			t := ts[awake[k]]
-			t.advanceTo(d+1, sevFrom)
-			limit := t.lim
-			t.hasProp = false
-			t.decide(limit)
-			t.computeWake(s, d, limit)
-			return nil
-		})
-		if err != nil {
-			return err
-		}
-
-		// Phase 2 — sequential, over the awake subset (ascending index,
-		// courtesy of the heap's secondary key). Tenants asleep at d hold
-		// no proposal, so the stepped engine's full walk degenerates to
-		// exactly this subset.
-		s.enactPhase(awake, pressure, d)
-
-		for _, i := range awake {
-			t := ts[i]
-			if t.hasProp {
-				// Only proposers can have been resized by enactPhase
-				// (granted, deferred or fault-aborted — re-read either way).
-				t.lim = t.set.CPULimit()
+		for {
+			// Catch the fleet-level scheduling pressure up through the
+			// decision minute — one draw per window, same stream as the
+			// stepped engine's per-minute polling. Pressure edges for minutes
+			// ≤ d are emitted before this tick's phase-2 events, exactly as
+			// the stepped segment prologue interleaves them.
+			if s.finj != nil {
+				pressure = s.finj.AdvancePressure(int64(clock), int64(d+1))
+				s.cluster.SetPressure(pressure)
 			}
-			if w := t.wakeAt; w >= 0 {
-				heap.push(wakeEntry{at: int32(w), idx: int32(i)})
+			clock = d + 1
+
+			// Severity is defined as the insufficiency since the previous
+			// decision tick — even for tenants that slept through it — so
+			// catch-up accumulates it only from sevFrom on.
+			sevFrom := d - s.d + 1
+			if d == s.warmup {
+				sevFrom = 0 // first decision: severity covers the warm-up
 			}
+
+			// Phase 1 — parallel catch-up + decide over the awake tenants
+			// only. Each task touches one tenant's state; sleeping tenants are
+			// untouched and, by the sleep contract, unchanged.
+			err := parallel.ForEach(ctx, len(awake), s.workers, func(k int) error {
+				t := ts[awake[k]]
+				t.advanceTo(d+1, sevFrom)
+				limit := t.lim
+				t.hasProp = false
+				t.decide(limit)
+				t.computeWake(s, d, limit)
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+
+			// Phase 2 — sequential, over the awake subset (ascending index,
+			// courtesy of the heap's secondary key). Tenants asleep at d hold
+			// no proposal, so the stepped engine's full walk degenerates to
+			// exactly this subset.
+			s.enactTick(awake, pressure, d)
+
+			for _, i := range awake {
+				t := ts[i]
+				if t.hasProp {
+					// Only proposers can have been resized by enactPhase
+					// (granted, deferred or fault-aborted — re-read either way).
+					t.lim = t.set.CPULimit()
+				}
+			}
+
+			if len(heap) == 0 {
+				if w := uniformWake(ts, awake); w >= 0 {
+					d = w // lockstep fleet: rerun the tick loop on the same list
+					continue
+				}
+			}
+			for _, i := range awake {
+				if w := ts[i].wakeAt; w >= 0 {
+					heap.push(wakeEntry{at: int32(w), idx: int32(i)})
+				}
+			}
+			break
 		}
 	}
 

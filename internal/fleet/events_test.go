@@ -86,11 +86,33 @@ func withSmallCluster(opts Options) Options {
 // chaos faults. Any divergence between the engines' analytic and stepped
 // arithmetic shows up as a result or stream mismatch.
 func TestEventEngineEquivalenceRandomized64(t *testing.T) {
-	spec, err := faults.ParseSpec("restart-fail:p=0.1,metrics-gap:p=0.03,sched-pressure:p=0.3:dur=45:cores=8")
-	if err != nil {
-		t.Fatal(err)
+	base, baseStream := runEngine(t, randomized64Specs(t), randomized64Opts(t), EngineStepped, 1)
+	for _, engine := range []string{EngineStepped, EngineEvents} {
+		for _, w := range []int{1, 4, 8} {
+			if engine == EngineStepped && w == 1 {
+				continue
+			}
+			res, stream := runEngine(t, randomized64Specs(t), randomized64Opts(t), engine, w)
+			if !reflect.DeepEqual(base, res) {
+				t.Errorf("engine=%s workers=%d: result diverged:\n%s\nvs\n%s",
+					engine, w, base.Summary(), res.Summary())
+			}
+			if stream != baseStream {
+				t.Errorf("engine=%s workers=%d: event stream diverged", engine, w)
+			}
+		}
 	}
-	const minutes = 420
+}
+
+const randomized64Minutes = 420
+
+// randomized64Specs builds the 64-tenant fuzz fleet the engine- and
+// sharding-equivalence tests share: piecewise-constant and noisy traces,
+// every recommender family, 1–2 replicas. Deterministic (fixed seed), so
+// repeated calls build identical fleets.
+func randomized64Specs(t *testing.T) []TenantSpec {
+	t.Helper()
+	const minutes = randomized64Minutes
 
 	mkTrace := func(rng *rand.Rand, name string) *trace.Trace {
 		vs := make([]float64, minutes)
@@ -116,84 +138,73 @@ func TestEventEngineEquivalenceRandomized64(t *testing.T) {
 		return trace.New(name, time.Minute, vs)
 	}
 
-	mkSpecs := func() []TenantSpec {
-		rng := rand.New(rand.NewSource(42))
-		specs := make([]TenantSpec, 0, 64)
-		for i := 0; i < 64; i++ {
-			tr := mkTrace(rng, fmt.Sprintf("r%02d", i))
-			maxC := 8
-			var factory func() (recommend.Recommender, error)
-			switch i % 6 {
-			case 0:
-				factory = func() (recommend.Recommender, error) {
-					return recommend.NewCaaSPERReactive(core.DefaultConfig(maxC), 40)
-				}
-			case 1:
-				factory = func() (recommend.Recommender, error) {
-					return baselines.NewKubernetesVPA(baselines.DefaultKubernetesVPAOptions(maxC))
-				}
-			case 2:
-				factory = func() (recommend.Recommender, error) {
-					return baselines.NewOpenShiftVPA(baselines.DefaultOpenShiftVPAOptions(maxC))
-				}
-			case 3:
-				factory = func() (recommend.Recommender, error) {
-					return baselines.NewAutopilot(baselines.DefaultAutopilotOptions(maxC))
-				}
-			case 4:
-				factory = func() (recommend.Recommender, error) {
-					return baselines.NewControl(4), nil
-				}
-			case 5:
-				factory = stubFactory("stub", 2+i%4) // neither optional interface
+	rng := rand.New(rand.NewSource(42))
+	specs := make([]TenantSpec, 0, 64)
+	for i := 0; i < 64; i++ {
+		tr := mkTrace(rng, fmt.Sprintf("r%02d", i))
+		maxC := 8
+		var factory func() (recommend.Recommender, error)
+		switch i % 6 {
+		case 0:
+			factory = func() (recommend.Recommender, error) {
+				return recommend.NewCaaSPERReactive(core.DefaultConfig(maxC), 40)
 			}
-			specs = append(specs, TenantSpec{
-				Name:           fmt.Sprintf("t%02d", i),
-				Trace:          tr,
-				NewRecommender: factory,
-				InitialCores:   1 + rng.Intn(3),
-				MinCores:       1,
-				MaxCores:       maxC,
-				Replicas:       1 + rng.Intn(2),
-				MemGiBPerPod:   1,
-			})
+		case 1:
+			factory = func() (recommend.Recommender, error) {
+				return baselines.NewKubernetesVPA(baselines.DefaultKubernetesVPAOptions(maxC))
+			}
+		case 2:
+			factory = func() (recommend.Recommender, error) {
+				return baselines.NewOpenShiftVPA(baselines.DefaultOpenShiftVPAOptions(maxC))
+			}
+		case 3:
+			factory = func() (recommend.Recommender, error) {
+				return baselines.NewAutopilot(baselines.DefaultAutopilotOptions(maxC))
+			}
+		case 4:
+			factory = func() (recommend.Recommender, error) {
+				return baselines.NewControl(4), nil
+			}
+		case 5:
+			factory = stubFactory("stub", 2+i%4) // neither optional interface
 		}
-		return specs
+		specs = append(specs, TenantSpec{
+			Name:           fmt.Sprintf("t%02d", i),
+			Trace:          tr,
+			NewRecommender: factory,
+			InitialCores:   1 + rng.Intn(3),
+			MinCores:       1,
+			MaxCores:       maxC,
+			Replicas:       1 + rng.Intn(2),
+			MemGiBPerPod:   1,
+		})
 	}
+	return specs
+}
 
-	mkOpts := func() Options {
-		nodes := make([]*k8s.Node, 16)
-		for i := range nodes {
-			nodes[i] = k8s.NewNode(fmt.Sprintf("node-%d", i), 64, 256)
-		}
-		cluster, err := k8s.NewCluster(nodes...)
-		if err != nil {
-			t.Fatal(err)
-		}
-		opts := DefaultOptions()
-		opts.Cluster = cluster
-		opts.Minutes = minutes
-		opts.FaultSpec = spec
-		opts.FaultSeed = 11
-		return opts
+// randomized64Opts builds the fuzz fleet's options: sixteen wide nodes
+// (so the 64 tenants partition into many node-disjoint groups) and the
+// full chaos fault spec.
+func randomized64Opts(t *testing.T) Options {
+	t.Helper()
+	spec, err := faults.ParseSpec("restart-fail:p=0.1,metrics-gap:p=0.03,sched-pressure:p=0.3:dur=45:cores=8")
+	if err != nil {
+		t.Fatal(err)
 	}
-
-	base, baseStream := runEngine(t, mkSpecs(), mkOpts(), EngineStepped, 1)
-	for _, engine := range []string{EngineStepped, EngineEvents} {
-		for _, w := range []int{1, 4, 8} {
-			if engine == EngineStepped && w == 1 {
-				continue
-			}
-			res, stream := runEngine(t, mkSpecs(), mkOpts(), engine, w)
-			if !reflect.DeepEqual(base, res) {
-				t.Errorf("engine=%s workers=%d: result diverged:\n%s\nvs\n%s",
-					engine, w, base.Summary(), res.Summary())
-			}
-			if stream != baseStream {
-				t.Errorf("engine=%s workers=%d: event stream diverged", engine, w)
-			}
-		}
+	nodes := make([]*k8s.Node, 16)
+	for i := range nodes {
+		nodes[i] = k8s.NewNode(fmt.Sprintf("node-%d", i), 64, 256)
 	}
+	cluster, err := k8s.NewCluster(nodes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Cluster = cluster
+	opts.Minutes = randomized64Minutes
+	opts.FaultSpec = spec
+	opts.FaultSeed = 11
+	return opts
 }
 
 // countingRec wraps the reactive adapter, counting Recommend calls while

@@ -142,6 +142,14 @@ type Options struct {
 	// selected by "") or EngineEvents. Both produce byte-identical results
 	// and event streams; see the engine constants for when each wins.
 	Engine string
+	// Sharding controls the event engine's shard-parallel mode:
+	// ShardingAuto (the default, also selected by "") partitions the
+	// fleet into node-disjoint shard groups and runs them concurrently;
+	// ShardingOff forces the single-shard reference loop. Results and
+	// event streams are byte-identical either way — the knob exists for
+	// A/B verification and debugging, not correctness. Ignored by the
+	// stepped engine.
+	Sharding string
 }
 
 // Engine names accepted by Options.Engine.
@@ -160,6 +168,22 @@ const (
 	// decisions instead of simulated minutes, which is what makes
 	// 100k-tenant months tractable.
 	EngineEvents = "events"
+)
+
+// Sharding modes accepted by Options.Sharding.
+const (
+	// ShardingAuto (the default) lets the event engine split the fleet
+	// at its real contention boundary: arbitration only couples tenants
+	// whose pods share a cluster node, so the tenant graph's
+	// node-connected components run as independent shards, each with its
+	// own wake heap, virtual clock and fault-draw stream, fanned out on
+	// internal/parallel. A fleet whose tenants all contend on one node
+	// collapses to a single shard — exactly the ShardingOff loop.
+	ShardingAuto = "auto"
+	// ShardingOff forces the single-shard event loop (one global wake
+	// heap, sequential ticks) — the reference the sharded mode is tested
+	// byte-identical against.
+	ShardingOff = "off"
 )
 
 // DefaultOptions returns the fleet defaults: 10-minute decisions, hourly
@@ -187,6 +211,11 @@ func (o Options) Validate() error {
 	case "", EngineStepped, EngineEvents:
 	default:
 		return fmt.Errorf("fleet: unknown engine %q: %w", o.Engine, errs.ErrInvalidConfig)
+	}
+	switch o.Sharding {
+	case "", ShardingAuto, ShardingOff:
+	default:
+		return fmt.Errorf("fleet: unknown sharding mode %q (auto or off): %w", o.Sharding, errs.ErrInvalidConfig)
 	}
 	return nil
 }
@@ -396,11 +425,18 @@ type runState struct {
 	warmup  int
 	d       int // decision cadence in minutes
 	workers int
+	shard   string // Options.Sharding ("", auto or off)
 	res     *Result
 
 	// Phase-2 working storage reused across ticks.
 	ups []int
 	arb *arbScratch
+
+	// ssink, when non-nil, marks this runState as one shard of a
+	// shard-parallel run (see shard.go): h.Events points at the same
+	// buffer, and enactPhase tags each buffered event with its merge key
+	// so the post-run merge can reproduce the single-shard byte order.
+	ssink *shardSink
 }
 
 // Run executes the fleet loop over the shared cluster and returns the
@@ -469,8 +505,8 @@ func Run(tenants []TenantSpec, opts Options) (*Result, error) {
 				// The event engine's analytic catch-up covers only the
 				// CPU dimension today; refuse rather than silently
 				// dropping RAM/disk accounting.
-				return nil, fmt.Errorf("fleet: tenant %q: multi-resource tenants need the stepped engine: %w",
-					spec.Name, errs.ErrInvalidConfig)
+				return nil, fmt.Errorf(`fleet: tenant %q manages RAM/disk/replicas, which the "events" engine cannot replay (its analytic catch-up is CPU-only); rerun with Engine %q (-engine stepped): %w`,
+					spec.Name, EngineStepped, errs.ErrInvalidConfig)
 			}
 		}
 		if minutes == 0 || len(spec.Trace.Values) < minutes {
@@ -568,6 +604,7 @@ func Run(tenants []TenantSpec, opts Options) (*Result, error) {
 		warmup:  warmup,
 		d:       opts.DecisionEveryMinutes,
 		workers: opts.Workers,
+		shard:   opts.Sharding,
 		res:     res,
 		arb:     &arbScratch{},
 	}
@@ -748,10 +785,31 @@ func (s *runState) runStepped() error {
 		}
 		segStart = segEnd
 		if decision >= 0 {
-			s.enactPhase(all, pressure, decision)
+			s.enactTick(all, pressure, decision)
 		}
 	}
 	return nil
+}
+
+// enactTick runs phase 2 at one decision tick and closes its books: the
+// arbitration-tick counter and the per-tick "fleet.arbitration" summary
+// event, emitted when at least one tenant was deferred. Both engines'
+// non-sharded loops call this; the shard loops call enactPhase directly
+// and re-derive the tick bookkeeping in the merge (shard.go), where the
+// global contender/grant/deferral totals are known.
+func (s *runState) enactTick(cands []int, pressure float64, now int) {
+	contenders, granted, deferred := s.enactPhase(cands, pressure, now)
+	if deferred > 0 {
+		s.res.ArbitrationTicks++
+		if s.events {
+			s.h.Events.Emit(obs.Event{T: int64(now), Type: "fleet.arbitration", Fields: []obs.Field{
+				obs.I("contenders", int64(contenders)),
+				obs.I("granted", int64(granted)),
+				obs.I("deferred", int64(deferred)),
+				obs.F("pressure", pressure),
+			}})
+		}
+	}
 }
 
 // enactPhase is phase 2 — the sequential enact/arbitrate pass at one
@@ -759,11 +817,14 @@ func (s *runState) runStepped() error {
 // that may hold proposals, in ascending order: the stepped engine passes
 // every index, the event engine just the tenants awake at this tick
 // (sleeping tenants provably file nothing, so the walk is equivalent).
+// It returns the tick's arbitration tallies — the scale-up contender
+// count and how many were granted vs deferred — for enactTick or the
+// shard merge to summarize.
 //
 // Scale-downs go first: they only release capacity, so they are always
 // granted and make room for this tick's scale-ups (the arbiter sees the
 // freed cores).
-func (s *runState) enactPhase(cands []int, pressure float64, now int) {
+func (s *runState) enactPhase(cands []int, pressure float64, now int) (contenders, granted, deferred int) {
 	ts := s.ts
 	ups := s.ups[:0]
 	for _, i := range cands {
@@ -772,6 +833,9 @@ func (s *runState) enactPhase(cands []int, pressure float64, now int) {
 			continue
 		}
 		if !t.prop.grows(t) {
+			if s.ssink != nil {
+				s.ssink.key = evKey{stage: 0, idx: int32(i)}
+			}
 			s.enactProposal(t, now)
 		} else {
 			ups = append(ups, i)
@@ -800,9 +864,11 @@ func (s *runState) enactPhase(cands []int, pressure float64, now int) {
 			}
 			ups[b+1] = v
 		}
-		granted, deferred := 0, 0
 		for _, i := range ups {
 			t := ts[i]
+			if s.ssink != nil {
+				s.ssink.key = evKey{stage: 1, idx: int32(i), sev: t.prop.severity}
+			}
 			if node, short := s.checkFeasible(t, pressure); node != "" {
 				t.res.Deferrals++
 				deferred++
@@ -821,19 +887,9 @@ func (s *runState) enactPhase(cands []int, pressure float64, now int) {
 			s.enactProposal(t, now)
 			granted++
 		}
-		if deferred > 0 {
-			s.res.ArbitrationTicks++
-			if s.events {
-				s.h.Events.Emit(obs.Event{T: int64(now), Type: "fleet.arbitration", Fields: []obs.Field{
-					obs.I("contenders", int64(len(ups))),
-					obs.I("granted", int64(granted)),
-					obs.I("deferred", int64(deferred)),
-					obs.F("pressure", pressure),
-				}})
-			}
-		}
 	}
 	s.ups = ups
+	return len(ups), granted, deferred
 }
 
 // enactProposal routes a granted proposal to the matching enactor.

@@ -155,8 +155,11 @@ type Sink interface {
 	// (or Enabled(sink)) before building an event, so a disabled sink
 	// costs one branch and zero allocations per call site.
 	Enabled() bool
-	// Emit consumes one event. The event and its Fields slice must not be
-	// retained mutably by the caller afterwards.
+	// Emit consumes one event. Implementations that retain the event past
+	// the call (buffers, replayers) must copy its Fields, because callers
+	// are allowed to reuse the Fields backing array for the next event —
+	// that reuse is what keeps hot emit sites allocation-free. Encoding
+	// sinks that serialize before returning need no copy.
 	Emit(e Event)
 	// Flush forces buffered output down to the underlying writer.
 	Flush() error
@@ -246,6 +249,11 @@ func (s *NDJSONSink) Err() error {
 type MemorySink struct {
 	mu     sync.Mutex
 	events []Event
+	// arena backs the collected events' Fields: Emit copies each event's
+	// fields in (the Sink contract lets emitters reuse their backing), so
+	// a long capture costs one growing arena instead of one slice header
+	// per event — and pooled sinks reuse it across runs after Reset.
+	arena []Field
 }
 
 // NewMemorySink returns an empty collecting sink.
@@ -254,9 +262,29 @@ func NewMemorySink() *MemorySink { return &MemorySink{} }
 // Enabled implements Sink.
 func (m *MemorySink) Enabled() bool { return true }
 
-// Emit implements Sink.
+// Emit implements Sink. The event's Fields are copied into the sink's
+// arena, so callers may reuse their backing array immediately.
 func (m *MemorySink) Emit(e Event) {
 	m.mu.Lock()
+	if n := len(e.Fields); n > 0 {
+		if cap(m.arena)-len(m.arena) < n {
+			// Chunked growth: open a fresh block instead of reallocating,
+			// so already-captured events keep pointing into the old chunks
+			// (immutable, alive until the events are) and no capture ever
+			// re-copies what it already copied.
+			size := 2 * cap(m.arena)
+			if size < 512 {
+				size = 512
+			}
+			if size < n {
+				size = n
+			}
+			m.arena = make([]Field, 0, size)
+		}
+		start := len(m.arena)
+		m.arena = append(m.arena, e.Fields...)
+		e.Fields = m.arena[start:len(m.arena):len(m.arena)]
+	}
 	m.events = append(m.events, e)
 	m.mu.Unlock()
 }
@@ -264,7 +292,10 @@ func (m *MemorySink) Emit(e Event) {
 // Flush implements Sink.
 func (m *MemorySink) Flush() error { return nil }
 
-// Events returns the collected events in emission order.
+// Events returns the collected events in emission order. The events'
+// Fields alias the sink's internal arena: they are immutable, but only
+// valid until the next Reset (which recycles the arena for new events) —
+// consume or deep-copy them before resetting.
 func (m *MemorySink) Events() []Event {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -285,6 +316,7 @@ func (m *MemorySink) Len() int {
 func (m *MemorySink) Reset() {
 	m.mu.Lock()
 	m.events = m.events[:0]
+	m.arena = m.arena[:0]
 	m.mu.Unlock()
 }
 

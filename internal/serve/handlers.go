@@ -193,9 +193,24 @@ func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	var samples []sample
+	// Parse scratch comes from the ingest pools: the scanner buffer is
+	// returned on every path, while the samples slice travels with the
+	// batch through the shard queue and is recycled by the drain worker —
+	// except on reject paths (400/429), where the deferred check returns
+	// it here instead.
+	bufp := scanBufPool.Get().(*[]byte)
+	defer scanBufPool.Put(bufp)
+	box := samplesPool.Get().(*[]sample)
+	samples := (*box)[:0]
+	enqueued := false
+	defer func() {
+		if !enqueued {
+			*box = samples[:0]
+			samplesPool.Put(box)
+		}
+	}()
 	sc := bufio.NewScanner(r.Body)
-	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	sc.Buffer(*bufp, 1<<20)
 	line := 0
 	for sc.Scan() {
 		line++
@@ -205,9 +220,12 @@ func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 		}
 		var smp sample
 		smp.CPU = -1
-		if err := json.Unmarshal(raw, &smp); err != nil {
-			httpError(w, http.StatusBadRequest, "sample line %d: %v", line, err)
-			return
+		if !parseSampleFast(raw, &smp) {
+			smp = sample{CPU: -1}
+			if err := json.Unmarshal(raw, &smp); err != nil {
+				httpError(w, http.StatusBadRequest, "sample line %d: %v", line, err)
+				return
+			}
 		}
 		if smp.CPU < 0 {
 			httpError(w, http.StatusBadRequest, `sample line %d: "cpu" must be present and ≥ 0`, line)
@@ -225,7 +243,8 @@ func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 	}
 
 	select {
-	case sh.queue <- batch{t: t, samples: samples, enq: time.Now()}:
+	case sh.queue <- batch{t: t, samples: samples, box: box, enq: time.Now()}:
+		enqueued = true
 		s.opts.Metrics.Counter("serve.batches").Inc()
 		w.WriteHeader(http.StatusAccepted)
 		fmt.Fprintf(w, "{\"accepted\":%d}\n", len(samples))
@@ -439,4 +458,180 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	io.WriteString(w, s.opts.Metrics.Summary())
+}
+
+// parseSampleFast decodes the canonical flat sample object — plain
+// escape-free keys from the fixed schema, plain RFC 8259 numbers, no
+// nesting — without encoding/json's reflection machinery or its
+// per-token allocations. It is strictly conservative: anything unusual
+// (unknown keys, string escapes, nested values, null, numbers outside
+// the exact-conversion fast path below) returns false and the caller
+// retries the line with json.Unmarshal, so every accepted input decodes
+// bit-identically on both paths and rejection semantics never change.
+func parseSampleFast(b []byte, out *sample) bool {
+	i := 0
+	skipWS := func() {
+		for i < len(b) && (b[i] == ' ' || b[i] == '\t' || b[i] == '\n' || b[i] == '\r') {
+			i++
+		}
+	}
+	skipWS()
+	if i >= len(b) || b[i] != '{' {
+		return false
+	}
+	i++
+	skipWS()
+	if i < len(b) && b[i] == '}' {
+		i++
+		skipWS()
+		return i == len(b)
+	}
+	for {
+		skipWS()
+		if i >= len(b) || b[i] != '"' {
+			return false
+		}
+		i++
+		keyStart := i
+		for i < len(b) && b[i] != '"' {
+			if b[i] == '\\' {
+				return false
+			}
+			i++
+		}
+		if i >= len(b) {
+			return false
+		}
+		key := b[keyStart:i]
+		i++
+		skipWS()
+		if i >= len(b) || b[i] != ':' {
+			return false
+		}
+		i++
+		skipWS()
+		v, ok := parseNumberFast(b, &i)
+		if !ok {
+			return false
+		}
+		switch string(key) { // compiler elides the conversion in a switch
+		case "cpu":
+			out.CPU = v
+		case "ram_gb":
+			out.RAMGB = v
+		case "disk_gb":
+			out.DiskGB = v
+		default:
+			return false
+		}
+		skipWS()
+		if i >= len(b) {
+			return false
+		}
+		switch b[i] {
+		case ',':
+			i++
+		case '}':
+			i++
+			skipWS()
+			return i == len(b)
+		default:
+			return false
+		}
+	}
+}
+
+// pow10Exact holds the powers of ten exactly representable as float64 —
+// the range where one multiply or divide is correctly rounded.
+var pow10Exact = [...]float64{
+	1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10,
+	1e11, 1e12, 1e13, 1e14, 1e15, 1e16, 1e17, 1e18, 1e19, 1e20, 1e21, 1e22,
+}
+
+// parseNumberFast reads a JSON number at b[*i] via Clinger's exact
+// conversion: when the mantissa fits in 53 bits and the decimal
+// exponent stays within ±22, float64(mantissa) scaled by an exact power
+// of ten is correctly rounded — bit-identical to strconv.ParseFloat,
+// with no intermediate string. Anything outside that window (too many
+// digits, extreme exponents, malformed syntax) reports !ok and the
+// caller falls back to the full decoder.
+func parseNumberFast(b []byte, ip *int) (float64, bool) {
+	i := *ip
+	neg := false
+	if i < len(b) && b[i] == '-' {
+		neg = true
+		i++
+	}
+	var mant uint64
+	digits := 0
+	switch {
+	case i < len(b) && b[i] == '0':
+		i++
+		digits = 1
+	case i < len(b) && b[i] >= '1' && b[i] <= '9':
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			mant = mant*10 + uint64(b[i]-'0')
+			digits++
+			if digits > 19 {
+				return 0, false
+			}
+			i++
+		}
+	default:
+		return 0, false
+	}
+	exp10 := 0
+	if i < len(b) && b[i] == '.' {
+		i++
+		if i >= len(b) || b[i] < '0' || b[i] > '9' {
+			return 0, false
+		}
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			mant = mant*10 + uint64(b[i]-'0')
+			digits++
+			exp10--
+			if digits > 19 {
+				return 0, false
+			}
+			i++
+		}
+	}
+	if i < len(b) && (b[i] == 'e' || b[i] == 'E') {
+		i++
+		eneg := false
+		if i < len(b) && (b[i] == '+' || b[i] == '-') {
+			eneg = b[i] == '-'
+			i++
+		}
+		if i >= len(b) || b[i] < '0' || b[i] > '9' {
+			return 0, false
+		}
+		e := 0
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			e = e*10 + int(b[i]-'0')
+			if e > 400 {
+				return 0, false
+			}
+			i++
+		}
+		if eneg {
+			exp10 -= e
+		} else {
+			exp10 += e
+		}
+	}
+	if mant >= 1<<53 || exp10 < -22 || exp10 > 22 {
+		return 0, false
+	}
+	v := float64(mant)
+	if exp10 > 0 {
+		v *= pow10Exact[exp10]
+	} else if exp10 < 0 {
+		v /= pow10Exact[-exp10]
+	}
+	if neg {
+		v = -v
+	}
+	*ip = i
+	return v, true
 }

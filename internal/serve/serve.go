@@ -243,12 +243,27 @@ type sample struct {
 }
 
 // batch is one enqueued ingest unit: samples for one tenant, stamped at
-// enqueue time so the decision latency includes queueing.
+// enqueue time so the decision latency includes queueing. box, when
+// non-nil, is the pooled backing the samples were parsed into; the drain
+// worker returns it to samplesPool once apply is done with it.
 type batch struct {
 	t       *tenantState
 	samples []sample
+	box     *[]sample
 	enq     time.Time
 }
+
+// Ingest scratch pools. A sample batch lives from the HTTP handler
+// (parse) through the shard queue until apply() finishes with it, so
+// both the scanner buffer and the parsed-samples slice can be recycled
+// across requests instead of being reallocated per POST — a steady
+// ingest stream then costs O(1) buffer allocations, not 64 KiB plus a
+// grown slice each batch. The slices are boxed (*[]T) so a Put never
+// allocates a fresh interface header for the slice value.
+var (
+	scanBufPool = sync.Pool{New: func() any { b := make([]byte, 64<<10); return &b }}
+	samplesPool = sync.Pool{New: func() any { return new([]sample) }}
+)
 
 // tenantState is one tenant's live state. The shard mutex guards only
 // map membership; every field below mu is guarded by mu itself, so a
@@ -345,6 +360,10 @@ func (s *Server) drain(sh *shard) {
 	defer sh.wg.Done()
 	for b := range sh.queue {
 		s.apply(b)
+		if b.box != nil {
+			*b.box = b.samples[:0]
+			samplesPool.Put(b.box)
+		}
 	}
 }
 

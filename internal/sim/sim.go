@@ -335,6 +335,10 @@ func Run(tr *trace.Trace, rec recommend.Recommender, opts Options) (*Result, err
 	// default) the replay loop pays one branch per minute and allocates
 	// nothing for telemetry.
 	events := obs.Enabled(h.Events)
+	// evf is the reusable event-field buffer: Sink.Emit lets emitters
+	// reclaim the backing once it returns (retaining sinks copy), so the
+	// per-event composite literals below stop costing one allocation each.
+	var evf []obs.Field
 	if events {
 		if in, ok := rec.(recommend.Instrumentable); ok {
 			in.SetEventSink(h.Events)
@@ -361,12 +365,13 @@ func Run(tr *trace.Trace, rec recommend.Recommender, opts Options) (*Result, err
 			})
 			res.NumScalings++
 			if events {
-				h.Events.Emit(obs.Event{T: int64(t), Type: "sim.resize", Fields: []obs.Field{
+				evf = append(evf[:0],
 					obs.I("from", int64(limit)),
 					obs.I("to", int64(pendingTarget)),
 					obs.I("decided", int64(pendingAt-opts.ResizeDelayMinutes)),
 					obs.I("effective", int64(t)),
-				}})
+				)
+				h.Events.Emit(obs.Event{T: int64(t), Type: "sim.resize", Fields: evf})
 			}
 			limit = pendingTarget
 		}
@@ -390,10 +395,11 @@ func Run(tr *trace.Trace, rec recommend.Recommender, opts Options) (*Result, err
 				// back: the limit stays, the decision is abandoned.
 				res.AbortedScalings++
 				if events {
-					h.Events.Emit(obs.Event{T: int64(t), Type: "sim.resize-aborted", Fields: []obs.Field{
+					evf = append(evf[:0],
 						obs.I("from", int64(limit)),
 						obs.I("to", int64(pendingTarget)),
-					}})
+					)
+					h.Events.Emit(obs.Event{T: int64(t), Type: "sim.resize-aborted", Fields: evf})
 				}
 				pendingTarget, pendingAt = -1, -1
 				pendingExplanation = ""
@@ -414,11 +420,12 @@ func Run(tr *trace.Trace, rec recommend.Recommender, opts Options) (*Result, err
 			res.SumInsufficient += insuff
 			res.ThrottledMinutes++
 			if events {
-				h.Events.Emit(obs.Event{T: int64(t), Type: "sim.throttle", Fields: []obs.Field{
+				evf = append(evf[:0],
 					obs.F("demand", demand),
 					obs.F("limit", capf),
 					obs.F("insufficient", insuff),
-				}})
+				)
+				h.Events.Emit(obs.Event{T: int64(t), Type: "sim.throttle", Fields: evf})
 			}
 		}
 
@@ -437,11 +444,12 @@ func Run(tr *trace.Trace, rec recommend.Recommender, opts Options) (*Result, err
 		// Decision tick: only when idle (no resize in flight).
 		if t >= warmup && t%opts.DecisionEveryMinutes == 0 && pendingTarget < 0 {
 			if events {
-				h.Events.Emit(obs.Event{T: int64(t), Type: "sim.slack", Fields: []obs.Field{
+				evf = append(evf[:0],
 					obs.F("limit", capf),
 					obs.F("slack", slackSinceTick),
 					obs.I("window", int64(t-lastTick)),
-				}})
+				)
+				h.Events.Emit(obs.Event{T: int64(t), Type: "sim.slack", Fields: evf})
 			}
 			slackSinceTick, lastTick = 0, t
 			target := stats.ClampInt(rec.Recommend(limit), opts.MinCores, opts.MaxCores)

@@ -38,6 +38,21 @@ for ENG in stepped events; do
 done
 echo "==> engines stepped/events byte-identical at workers 1/4/8"
 
+# Sharding determinism: the events legs above run with the default
+# -sharding auto (node-disjoint tenant groups in parallel); this leg pins
+# the single-shard reference loop against the same stream, so a drift in
+# the shard partition, the per-shard clocks or the merge order is a byte
+# diff here.
+for W in 1 4 8; do
+    echo "==> fleet chaos run (engine events, sharding off, workers $W, -race)"
+    go run -race ./cmd/caasper-fleet -tenants 16 -minutes 240 -cluster small \
+        -engine events -sharding off -workers "$W" -faults "$FAULTS" -fault-seed 7 \
+        -events "$OUT/fleet-nosharding-w$W.ndjson" >/dev/null
+    grep -E '"type":"(fleet|fault)\.' "$OUT/fleet-nosharding-w$W.ndjson" > "$OUT/fleet-nosharding-w$W.events.ndjson"
+    cmp "$REF" "$OUT/fleet-nosharding-w$W.events.ndjson"
+done
+echo "==> sharding auto/off byte-identical at workers 1/4/8"
+
 # Multi-resource determinism: the same contract for the resource-vector
 # path (RAM + disk + horizontal overflow, mem-pressure faults). The
 # events engine rejects multi tenants, so this leg runs stepped only.
